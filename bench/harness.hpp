@@ -1,0 +1,52 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md section 4 for the index). Defaults are sized so
+// the full suite completes in minutes on one core; every harness accepts
+// --scale / --ranks style flags to grow toward the paper's configurations.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/dist_config.hpp"
+#include "core/dist_louvain.hpp"
+#include "gen/surrogate.hpp"
+#include "graph/csr.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace dlouvain::bench {
+
+/// The six variants of the paper's evaluation legend (Section V).
+inline std::vector<core::DistConfig> paper_variants() {
+  return {core::DistConfig::baseline(),       core::DistConfig::threshold_cycling(),
+          core::DistConfig::et(0.25),         core::DistConfig::et(0.75),
+          core::DistConfig::etc(0.25),        core::DistConfig::etc(0.75)};
+}
+
+inline std::string label_of(const core::DistConfig& cfg) {
+  std::string label = core::variant_label(cfg.variant, cfg.base.et_alpha);
+  if (cfg.add_threshold_cycling) label += "+TC";
+  return label;
+}
+
+/// Build the CSR for a named surrogate at the given scale.
+inline graph::Csr surrogate_csr(const std::string& name, double scale,
+                                std::uint64_t seed = 42) {
+  const auto generated = gen::surrogate(name, scale, seed);
+  return graph::from_edges(generated.num_vertices, generated.edges);
+}
+
+/// Banner printed by every harness: what is being reproduced and how the
+/// configuration differs from the paper's.
+inline void banner(const std::string& experiment, const std::string& paper_setup,
+                   const std::string& this_setup) {
+  std::cout << "== " << experiment << " ==\n"
+            << "paper setup: " << paper_setup << '\n'
+            << "this run:    " << this_setup << '\n'
+            << '\n';
+}
+
+}  // namespace dlouvain::bench

@@ -1,0 +1,82 @@
+// Micro-benchmarks for the message-passing substrate: latency/throughput of
+// the collectives the Louvain iteration leans on (all-reduce dominates the
+// paper's V-A profile at 40%).
+#include <benchmark/benchmark.h>
+
+#include "comm/comm.hpp"
+#include "comm/world.hpp"
+
+namespace {
+
+using dlouvain::comm::Comm;
+using dlouvain::comm::run;
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int rounds_per_run = 64;
+  long total = 0;
+  for (auto _ : state) {
+    run(p, [&](Comm& comm) {
+      for (int i = 0; i < rounds_per_run; ++i) comm.barrier();
+    });
+    total += rounds_per_run;
+  }
+  state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int rounds_per_run = 64;
+  long total = 0;
+  for (auto _ : state) {
+    run(p, [&](Comm& comm) {
+      double acc = comm.rank();
+      for (int i = 0; i < rounds_per_run; ++i)
+        acc = comm.allreduce_sum(acc * 0.5);
+      benchmark::DoNotOptimize(acc);
+    });
+    total += rounds_per_run;
+  }
+  state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t payload = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    run(p, [&](Comm& comm) {
+      std::vector<std::vector<std::int64_t>> outbox(static_cast<std::size_t>(p));
+      for (auto& box : outbox) box.assign(payload, comm.rank());
+      auto inbox = comm.alltoallv<std::int64_t>(std::move(outbox));
+      benchmark::DoNotOptimize(inbox);
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * p * p *
+                          static_cast<std::int64_t>(payload) * 8);
+}
+BENCHMARK(BM_Alltoallv)->Args({4, 64})->Args({4, 4096})->Args({8, 64})->Args({8, 4096});
+
+void BM_PointToPointPingPong(benchmark::State& state) {
+  const int rounds_per_run = 256;
+  for (auto _ : state) {
+    run(2, [&](Comm& comm) {
+      for (int i = 0; i < rounds_per_run; ++i) {
+        if (comm.rank() == 0) {
+          comm.send_value<int>(1, 0, i);
+          benchmark::DoNotOptimize(comm.recv_value<int>(1, 1));
+        } else {
+          benchmark::DoNotOptimize(comm.recv_value<int>(0, 0));
+          comm.send_value<int>(0, 1, i);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds_per_run);
+}
+BENCHMARK(BM_PointToPointPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

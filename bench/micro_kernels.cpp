@@ -1,0 +1,104 @@
+// Micro-benchmarks for the algorithmic kernels: CSR assembly, modularity
+// evaluation, one Louvain sweep, coarsening, and the generators feeding the
+// table harnesses.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "gen/lfr.hpp"
+#include "gen/ssca2.hpp"
+#include "graph/csr.hpp"
+#include "louvain/coarsen.hpp"
+#include "louvain/modularity.hpp"
+#include "louvain/serial.hpp"
+#include "louvain/shared.hpp"
+
+namespace {
+
+using namespace dlouvain;
+
+gen::GeneratedGraph bench_graph(std::int64_t n) {
+  gen::Ssca2Params p;
+  p.num_vertices = n;
+  p.max_clique_size = 25;
+  p.inter_clique_prob = 0.01;
+  return gen::ssca2(p);
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    auto csr = graph::from_edges(g.num_vertices, g.edges);
+    benchmark::DoNotOptimize(csr);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_Modularity(benchmark::State& state) {
+  const auto g = bench_graph(state.range(0));
+  const auto csr = graph::from_edges(g.num_vertices, g.edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(louvain::modularity(csr, g.ground_truth));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_arcs());
+}
+BENCHMARK(BM_Modularity)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SerialLouvain(benchmark::State& state) {
+  const auto g = bench_graph(state.range(0));
+  const auto csr = graph::from_edges(g.num_vertices, g.edges);
+  for (auto _ : state) {
+    auto result = louvain::louvain_serial(csr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_arcs());
+}
+BENCHMARK(BM_SerialLouvain)->Arg(1000)->Arg(4000);
+
+void BM_SharedLouvain(benchmark::State& state) {
+  const auto g = bench_graph(state.range(0));
+  const auto csr = graph::from_edges(g.num_vertices, g.edges);
+  for (auto _ : state) {
+    auto result = louvain::louvain_shared(csr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_arcs());
+}
+BENCHMARK(BM_SharedLouvain)->Arg(1000)->Arg(4000);
+
+void BM_Coarsen(benchmark::State& state) {
+  const auto g = bench_graph(state.range(0));
+  const auto csr = graph::from_edges(g.num_vertices, g.edges);
+  for (auto _ : state) {
+    auto coarse = louvain::coarsen(csr, g.ground_truth);
+    benchmark::DoNotOptimize(coarse);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_arcs());
+}
+BENCHMARK(BM_Coarsen)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GenLfr(benchmark::State& state) {
+  gen::LfrParams p;
+  p.num_vertices = state.range(0);
+  p.avg_degree = 20;
+  p.max_degree = 60;
+  p.mu = 0.3;
+  for (auto _ : state) {
+    auto g = gen::lfr(p);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GenLfr)->Arg(1000)->Arg(4000);
+
+void BM_GenSsca2(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = bench_graph(state.range(0));
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GenSsca2)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

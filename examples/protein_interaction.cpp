@@ -1,0 +1,77 @@
+// Biological-network scenario (the paper's introduction motivates community
+// detection for "biological sciences"): protein-complex discovery in a
+// protein-protein-interaction-style network -- dense complexes (planted
+// partition blocks) plus promiscuous hub proteins that blur the boundaries.
+// Demonstrates the resolution parameter: complexes are small, so classical
+// modularity (gamma = 1) under-resolves them and a higher gamma recovers
+// them -- checked against ground truth with F-score and NMI.
+//
+//   $ ./protein_interaction [--complexes 40] [--size 12] [--ranks 4]
+#include <iostream>
+
+#include "core/dist_louvain.hpp"
+#include "gen/simple.hpp"
+#include "graph/csr.hpp"
+#include "quality/fscore.hpp"
+#include "quality/nmi.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlouvain;
+
+  util::Cli cli(argc, argv);
+  const int complexes = static_cast<int>(cli.get_int("complexes", 40, "protein complexes"));
+  const VertexId size = cli.get_int("size", 12, "proteins per complex");
+  const int hubs = static_cast<int>(cli.get_int("hubs", 10, "promiscuous hub proteins"));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 4, "in-process ranks"));
+  if (!cli.finish()) return 1;
+
+  // Complexes as dense blocks...
+  const VertexId n_core = complexes * size;
+  auto network = gen::planted_partition(n_core, complexes, 0.7, 0.004, 2026);
+  // ...plus hub proteins interacting with one member of many complexes.
+  util::Xoshiro256StarStar rng(7);
+  const VertexId n = n_core + hubs;
+  for (int h = 0; h < hubs; ++h) {
+    const VertexId hub = n_core + h;
+    network.ground_truth.push_back(complexes + h);  // hubs are their own "complex"
+    for (int c = 0; c < complexes; ++c) {
+      if (rng.next_unit() < 0.5) {
+        const VertexId member = c * size + static_cast<VertexId>(rng.next_below(
+                                               static_cast<std::uint64_t>(size)));
+        network.edges.push_back({hub, member, 1.0});
+      }
+    }
+  }
+  network.num_vertices = n;
+  const auto graph = graph::from_edges(n, network.edges);
+
+  std::cout << "PPI-style network: " << n << " proteins (" << complexes
+            << " complexes of " << size << " + " << hubs << " hubs), "
+            << graph.num_arcs() / 2 << " interactions\n\n";
+
+  util::TextTable table({"gamma", "found complexes", "modularity Q_g", "precision",
+                         "recall", "F-score", "NMI"});
+  for (const double gamma : {0.5, 1.0, 2.0, 4.0}) {
+    core::DistConfig cfg;
+    cfg.base.resolution = gamma;
+    const auto result = core::dist_louvain_inprocess(ranks, graph, cfg);
+    const auto scores =
+        quality::compare_to_ground_truth(result.community, network.ground_truth);
+    const double nmi =
+        quality::normalized_mutual_information(result.community, network.ground_truth);
+    table.add_row({util::TextTable::fmt(gamma, 1),
+                   util::TextTable::fmt(result.num_communities),
+                   util::TextTable::fmt(result.modularity, 4),
+                   util::TextTable::fmt(scores.precision, 4),
+                   util::TextTable::fmt(scores.recall, 4),
+                   util::TextTable::fmt(scores.f_score, 4),
+                   util::TextTable::fmt(nmi, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(higher gamma resolves small complexes that classical modularity"
+               " merges -- the resolution limit in action)\n";
+  return 0;
+}

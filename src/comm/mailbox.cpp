@@ -1,0 +1,44 @@
+#include "comm/mailbox.hpp"
+
+#include <algorithm>
+
+namespace dlouvain::comm {
+
+void Mailbox::put(Message msg) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::get(Rank src, Tag tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted_) throw WorldAborted{};
+    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::abort() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dlouvain::comm

@@ -1,0 +1,48 @@
+// Per-rank mailbox with MPI-style (source, tag) matching.
+//
+// One Mailbox exists per destination rank. Senders append under the mutex
+// and notify; receivers block until a message whose (src, tag) matches is
+// present. Messages from the same source with the same tag are delivered in
+// FIFO order -- the non-overtaking guarantee MPI provides and that the
+// Louvain communication protocol relies on.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "comm/message.hpp"
+
+namespace dlouvain::comm {
+
+/// Thrown out of blocked receives when another rank aborted (threw) so the
+/// whole world can unwind instead of deadlocking.
+struct WorldAborted : std::exception {
+  const char* what() const noexcept override {
+    return "communicator world aborted by another rank";
+  }
+};
+
+class Mailbox {
+ public:
+  /// Deposit a message (buffered send: never blocks).
+  void put(Message msg);
+
+  /// Block until a message from `src` with tag `tag` is available, then
+  /// remove and return it. Throws WorldAborted if abort() is called.
+  Message get(Rank src, Tag tag);
+
+  /// Wake all blocked receivers with WorldAborted.
+  void abort();
+
+  /// Number of queued messages (diagnostics only).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_{false};
+};
+
+}  // namespace dlouvain::comm

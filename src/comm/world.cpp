@@ -1,0 +1,61 @@
+#include "comm/world.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "comm/comm.hpp"
+#include "util/log.hpp"
+
+namespace dlouvain::comm {
+
+World::World(int size) {
+  if (size <= 0) throw std::invalid_argument("world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::abort_all() {
+  for (auto& box : mailboxes_) box->abort();
+}
+
+std::size_t rank_of(const Comm& comm) noexcept {
+  return static_cast<std::size_t>(comm.rank());
+}
+
+TrafficReport run(int nranks, const std::function<void(Comm&)>& fn) {
+  World world(nranks);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](Rank rank) {
+    Comm comm(world, rank);
+    try {
+      fn(comm);
+    } catch (const WorldAborted&) {
+      // Unwound because another rank failed; nothing to record.
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      util::log_error() << "rank " << rank << " threw; aborting world";
+      world.abort_all();
+    }
+  };
+
+  if (nranks == 1) {
+    // Single-rank worlds run inline: cheaper, and keeps stack traces simple.
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return TrafficReport{world.messages_sent.load(), world.bytes_sent.load()};
+}
+
+}  // namespace dlouvain::comm

@@ -1,0 +1,66 @@
+// World: the shared state behind one communicator group, plus the launcher
+// that runs an SPMD function on `size` rank-threads.
+//
+// This is the project's stand-in for an MPI job: `comm::run(p, fn)` is
+// `mpirun -np p`, and the `Comm` handle each rank receives is its
+// MPI_COMM_WORLD. See DESIGN.md section 2 for the substitution rationale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace dlouvain::comm {
+
+class Comm;
+
+/// Shared state for one group of ranks. Created by run(); user code only
+/// ever sees Comm handles.
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  [[nodiscard]] Mailbox& mailbox(Rank rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+
+  /// Wake every blocked receiver with WorldAborted (called when a rank throws).
+  void abort_all();
+
+  /// Cumulative traffic counters (all ranks). Used by telemetry to report
+  /// communication volume the way the paper's HPCToolkit analysis does.
+  std::atomic<std::int64_t> messages_sent{0};
+  std::atomic<std::int64_t> bytes_sent{0};
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Run `fn(comm)` on `nranks` concurrent rank-threads and join them all.
+/// If any rank throws, the world is aborted (blocked receives on other ranks
+/// unwind with WorldAborted) and the first non-abort exception is rethrown
+/// on the caller's thread.
+///
+/// Returns the total traffic (messages, bytes) the job generated.
+struct TrafficReport {
+  std::int64_t messages{0};
+  std::int64_t bytes{0};
+};
+TrafficReport run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// Helper used by run_collect (defined in world.cpp, where Comm is complete,
+/// to avoid a circular include).
+std::size_t rank_of(const Comm& comm) noexcept;
+
+/// As run(), but collects one R per rank (indexed by rank).
+template <typename R>
+std::vector<R> run_collect(int nranks, const std::function<R(Comm&)>& fn) {
+  std::vector<R> results(static_cast<std::size_t>(nranks));
+  run(nranks, [&](Comm& comm) { results[rank_of(comm)] = fn(comm); });
+  return results;
+}
+
+}  // namespace dlouvain::comm

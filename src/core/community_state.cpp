@@ -1,0 +1,126 @@
+#include "core/community_state.hpp"
+
+#include <stdexcept>
+
+namespace dlouvain::core {
+
+namespace {
+
+/// Wire record for the refresh reply.
+struct InfoRecord {
+  CommunityId community;
+  Weight degree;
+  std::int64_t size;
+};
+
+/// Wire record for the delta flush.
+struct DeltaRecord {
+  CommunityId community;
+  Weight degree;
+  std::int64_t size;
+};
+
+}  // namespace
+
+CommunityLedger::CommunityLedger(const graph::DistGraph& g) : graph_(&g) {
+  owned_.resize(static_cast<std::size_t>(g.local_count()));
+  for (VertexId lv = 0; lv < g.local_count(); ++lv) {
+    owned_[static_cast<std::size_t>(lv)] =
+        CommunityInfo{g.weighted_degree(g.to_global(lv)), 1};
+  }
+}
+
+const CommunityInfo& CommunityLedger::info(CommunityId c) const {
+  if (graph_->owns(c)) return owned_[static_cast<std::size_t>(graph_->to_local(c))];
+  const auto it = ghost_cache_.find(c);
+  if (it == ghost_cache_.end())
+    throw std::out_of_range("CommunityLedger: community not in ghost cache");
+  return it->second;
+}
+
+void CommunityLedger::apply_move(CommunityId from, CommunityId to, Weight k) {
+  const auto touch = [&](CommunityId c, Weight dk, std::int64_t dsize) {
+    if (graph_->owns(c)) {
+      auto& entry = owned_[static_cast<std::size_t>(graph_->to_local(c))];
+      entry.degree += dk;
+      entry.size += dsize;
+    } else {
+      const auto it = ghost_cache_.find(c);
+      if (it == ghost_cache_.end())
+        throw std::out_of_range("CommunityLedger: move touches unknown ghost community");
+      it->second.degree += dk;
+      it->second.size += dsize;
+      auto& delta = pending_[c];
+      delta.community = c;
+      delta.degree += dk;
+      delta.size += dsize;
+    }
+  };
+  touch(from, -k, -1);
+  touch(to, k, 1);
+}
+
+void CommunityLedger::refresh(comm::Comm& comm, std::span<const CommunityId> needed) {
+  const int p = comm.size();
+  std::vector<std::vector<CommunityId>> requests(static_cast<std::size_t>(p));
+  for (const CommunityId c : needed) {
+    if (!graph_->owns(c))
+      requests[static_cast<std::size_t>(graph_->owner(c))].push_back(c);
+  }
+
+  const auto incoming = comm.alltoallv<CommunityId>(requests);
+
+  // Answer each requester with authoritative records for the ids it asked.
+  std::vector<std::vector<InfoRecord>> replies(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    replies[static_cast<std::size_t>(r)].reserve(incoming[static_cast<std::size_t>(r)].size());
+    for (const CommunityId c : incoming[static_cast<std::size_t>(r)]) {
+      if (!graph_->owns(c))
+        throw std::logic_error("CommunityLedger::refresh: asked for a community we don't own");
+      const auto& entry = owned_[static_cast<std::size_t>(graph_->to_local(c))];
+      replies[static_cast<std::size_t>(r)].push_back(
+          InfoRecord{c, entry.degree, entry.size});
+    }
+  }
+
+  const auto answers = comm.alltoallv<InfoRecord>(std::move(replies));
+
+  ghost_cache_.clear();
+  for (const auto& from_rank : answers) {
+    for (const auto& rec : from_rank)
+      ghost_cache_[rec.community] = CommunityInfo{rec.degree, rec.size};
+  }
+}
+
+void CommunityLedger::flush_deltas(comm::Comm& comm) {
+  const int p = comm.size();
+  std::vector<std::vector<DeltaRecord>> outbox(static_cast<std::size_t>(p));
+  for (const auto& [c, delta] : pending_) {
+    outbox[static_cast<std::size_t>(graph_->owner(c))].push_back(
+        DeltaRecord{delta.community, delta.degree, delta.size});
+  }
+  pending_.clear();
+
+  const auto inbox = comm.alltoallv<DeltaRecord>(std::move(outbox));
+  for (const auto& from_rank : inbox) {
+    for (const auto& rec : from_rank) {
+      auto& entry = owned_[static_cast<std::size_t>(graph_->to_local(rec.community))];
+      entry.degree += rec.degree;
+      entry.size += rec.size;
+    }
+  }
+}
+
+Weight CommunityLedger::owned_degree_term() const {
+  Weight term = 0;
+  for (const auto& entry : owned_) term += entry.degree * entry.degree;
+  return term;
+}
+
+VertexId CommunityLedger::owned_survivors() const {
+  VertexId count = 0;
+  for (const auto& entry : owned_) count += entry.size > 0 ? 1 : 0;
+  return count;
+}
+
+}  // namespace dlouvain::core

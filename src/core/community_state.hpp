@@ -1,0 +1,81 @@
+// CommunityLedger: the distributed community bookkeeping of paper
+// Algorithm 3.
+//
+// Community ids live in the vertex-id space and are co-partitioned with
+// vertices, so the owner of community c is the owner of vertex c. Each rank
+// stores, for its OWNED communities, the authoritative incident degree a_c
+// and member count; for remote ("ghost") communities its vertices reference,
+// it keeps a cached copy refreshed at the top of every iteration (the
+// request/reply step), plus a running delta queue of local moves whose
+// source/target communities are owned elsewhere -- flushed to the owners at
+// the end of every iteration ("send updated information on ghost communities
+// to owner processes").
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "graph/dist_graph.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::core {
+
+struct CommunityInfo {
+  Weight degree{0};   ///< a_c: summed weighted degree of members
+  VertexId size{0};   ///< member count
+};
+
+class CommunityLedger {
+ public:
+  /// Initialize for a fresh phase over `g`: every vertex in its own
+  /// community (a_c = k_c, size 1).
+  explicit CommunityLedger(const graph::DistGraph& g);
+
+  /// Authoritative or cached info for community c. c must be either owned or
+  /// present in the ghost cache (i.e. in the `needed` set of the last
+  /// refresh); anything else throws std::out_of_range -- a protocol bug.
+  [[nodiscard]] const CommunityInfo& info(CommunityId c) const;
+
+  [[nodiscard]] bool owns(CommunityId c) const { return graph_->owns(c); }
+
+  /// Apply a vertex move locally and immediately (paper Alg. 3 line 9):
+  /// owned communities update in place; remote communities update the cached
+  /// copy AND queue a delta for the owner.
+  void apply_move(CommunityId from, CommunityId to, Weight k);
+
+  /// Iteration-start refresh: fetch authoritative info for every unowned
+  /// community in `needed` (sorted unique ids; owned entries are ignored).
+  /// Collective. Clears the previous cache.
+  void refresh(comm::Comm& comm, std::span<const CommunityId> needed);
+
+  /// Iteration-end flush: ship queued deltas to community owners and apply
+  /// the incoming ones. Collective.
+  void flush_deltas(comm::Comm& comm);
+
+  /// Sum of a_c^2 over OWNED communities (the local share of the modularity
+  /// degree term).
+  [[nodiscard]] Weight owned_degree_term() const;
+
+  /// Number of owned communities with at least one member (the surviving
+  /// local clusters counted during graph reconstruction).
+  [[nodiscard]] VertexId owned_survivors() const;
+
+  /// Owned community info by local index (for the rebuild's renumbering).
+  [[nodiscard]] const std::vector<CommunityInfo>& owned() const { return owned_; }
+
+ private:
+  struct Delta {
+    CommunityId community;
+    Weight degree;
+    std::int64_t size;
+  };
+
+  const graph::DistGraph* graph_;
+  std::vector<CommunityInfo> owned_;  ///< by local community index
+  std::unordered_map<CommunityId, CommunityInfo> ghost_cache_;
+  std::unordered_map<CommunityId, Delta> pending_;  ///< keyed by community
+};
+
+}  // namespace dlouvain::core

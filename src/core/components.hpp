@@ -1,0 +1,31 @@
+// Distributed connected components over the comm substrate.
+//
+// A second distributed graph algorithm on the same machinery as the Louvain
+// code (ghost fields, all-reduce convergence votes): min-label propagation,
+// where every vertex repeatedly adopts the smallest component label in its
+// closed neighbourhood until a global fixed point. Used by the CLI tool and
+// by the generator validation tests (e.g. SSCA#2's chain bridges must leave
+// exactly one component); also a readable template for porting other
+// label-propagation algorithms onto the substrate.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "graph/dist_graph.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::core {
+
+struct DistComponentsResult {
+  /// Component label per OWNED vertex (local index): the smallest vertex id
+  /// in the component.
+  std::vector<VertexId> component;
+  VertexId count{0};  ///< global component count
+  int rounds{0};      ///< propagation rounds to the fixed point
+};
+
+/// Collective. Label space is vertex-id space, so results are comparable
+/// with graph::connected_components on the same graph.
+DistComponentsResult dist_connected_components(comm::Comm& comm,
+                                               const graph::DistGraph& g);
+
+}  // namespace dlouvain::core

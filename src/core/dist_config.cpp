@@ -1,0 +1,46 @@
+#include "core/dist_config.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlouvain::core {
+
+std::string variant_label(Variant variant, double alpha) {
+  char buf[64];
+  switch (variant) {
+    case Variant::kBaseline:
+      return "Baseline";
+    case Variant::kThresholdCycling:
+      return "Threshold Cycling";
+    case Variant::kEt:
+      std::snprintf(buf, sizeof buf, "ET(%.2f)", alpha);
+      return buf;
+    case Variant::kEtc:
+      std::snprintf(buf, sizeof buf, "ETC(%.2f)", alpha);
+      return buf;
+  }
+  return "?";
+}
+
+double DistConfig::threshold_for_phase(int phase) const {
+  if (!uses_cycling()) return base.threshold;
+  if (cycle_thresholds.empty() || cycle_thresholds.size() != cycle_lengths.size())
+    throw std::logic_error("DistConfig: malformed threshold cycle");
+  const int cycle_total = std::accumulate(cycle_lengths.begin(), cycle_lengths.end(), 0);
+  if (cycle_total <= 0) throw std::logic_error("DistConfig: empty threshold cycle");
+  int pos = phase % cycle_total;
+  for (std::size_t i = 0; i < cycle_lengths.size(); ++i) {
+    if (pos < cycle_lengths[i]) return cycle_thresholds[i];
+    pos -= cycle_lengths[i];
+  }
+  return cycle_thresholds.back();
+}
+
+double DistConfig::min_threshold() const {
+  if (!uses_cycling()) return base.threshold;
+  return *std::min_element(cycle_thresholds.begin(), cycle_thresholds.end());
+}
+
+}  // namespace dlouvain::core

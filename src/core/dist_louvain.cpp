@@ -1,0 +1,439 @@
+#include "core/dist_louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/coloring.hpp"
+#include "core/community_state.hpp"
+#include "core/ghost_exchange.hpp"
+#include "core/rebuild.hpp"
+#include "louvain/early_term.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace dlouvain::core {
+
+namespace {
+
+using louvain::EtState;
+
+/// Local share of the intra-community arc weight (both directions globally;
+/// each directed arc is counted once, by its source's owner).
+Weight local_intra_weight(const graph::DistGraph& g,
+                          std::span<const CommunityId> owned_community,
+                          const GhostCommunities& ghosts) {
+  Weight intra = 0;
+  for (VertexId lv = 0; lv < g.local_count(); ++lv) {
+    const VertexId gv = g.to_global(lv);
+    const CommunityId cv = owned_community[static_cast<std::size_t>(lv)];
+    for (const auto& e : g.local().neighbors(lv)) {
+      if (e.dst == gv) {
+        intra += 2 * e.weight;  // self loop: A_vv = 2w, always intra
+        continue;
+      }
+      const CommunityId cu =
+          g.owns(e.dst) ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
+                        : ghosts.of(e.dst);
+      if (cu == cv) intra += e.weight;
+    }
+  }
+  return intra;
+}
+
+/// One Louvain phase on the current distributed graph. Returns the final
+/// owned assignment (by local vertex index) and the phase's exact final
+/// modularity, with telemetry filled in.
+struct PhaseResult {
+  std::vector<CommunityId> owned_community;
+  GhostCommunities ghosts;
+  CommunityLedger ledger;
+  Weight final_modularity{0};
+};
+
+PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
+                      const DistConfig& cfg, int phase, double tau,
+                      PhaseTelemetry& telemetry) {
+  const VertexId local_n = g.local_count();
+  const VertexId global_n = g.global_n();
+  const Weight two_m = g.total_weight();
+  const Weight m = two_m / 2;
+  const double gamma = cfg.base.resolution;
+
+  PhaseResult state{std::vector<CommunityId>(static_cast<std::size_t>(local_n)),
+                    GhostCommunities(g), CommunityLedger(g), 0};
+  for (VertexId lv = 0; lv < local_n; ++lv)
+    state.owned_community[static_cast<std::size_t>(lv)] = g.to_global(lv);
+
+  EtState et(cfg.uses_et() ? static_cast<std::size_t>(local_n) : 0, cfg.base.et_alpha,
+             cfg.base.et_inactive_cutoff, cfg.base.seed);
+  std::vector<char> moved(static_cast<std::size_t>(local_n), 0);
+
+  util::AccumTimer t_ghost;
+  util::AccumTimer t_cinfo;
+  util::AccumTimer t_compute;
+  util::AccumTimer t_delta;
+  util::AccumTimer t_allreduce;
+
+  // Phase-initial modularity: singleton partition of the current graph --
+  // by the coarsening invariance this equals the previous phase's final
+  // modularity, so the convergence checks line up across phases.
+  Weight prev_mod;
+  {
+    const Weight intra = local_intra_weight(g, state.owned_community, state.ghosts);
+    const Weight degree_term = state.ledger.owned_degree_term();
+    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
+    prev_mod = two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
+  }
+
+  std::unordered_map<CommunityId, Weight> nbr_weight;
+  std::vector<CommunityId> needed;
+
+  // Sweep groups. Without coloring there is ONE group holding every local
+  // vertex (paper Algorithm 3 as published). With cfg.use_coloring, vertices
+  // are grouped by a distributed distance-1 coloring and the groups are
+  // processed color by color with fresh ghost/community state between them,
+  // so the set of vertices deciding concurrently (across ranks) is always an
+  // independent set -- the paper's Section VI convergence heuristic.
+  // Every rank loops over the same (global) group count so the collectives
+  // inside stay aligned.
+  std::vector<std::vector<VertexId>> groups;
+  if (cfg.use_coloring) {
+    const auto coloring = distance1_coloring(
+        comm, g, util::hash_combine(cfg.base.seed, static_cast<std::uint64_t>(phase)));
+    groups.resize(static_cast<std::size_t>(coloring.num_colors));
+    for (VertexId lv = 0; lv < local_n; ++lv)
+      groups[static_cast<std::size_t>(coloring.color[static_cast<std::size_t>(lv)])]
+          .push_back(lv);
+  } else {
+    groups.resize(1);
+    groups[0].resize(static_cast<std::size_t>(local_n));
+    std::iota(groups[0].begin(), groups[0].end(), VertexId{0});
+  }
+
+  // Seeded-random sweep order within each group, reshuffled per iteration
+  // (see louvain/serial.cpp: index-order sweeps drain id-correlated graphs
+  // into one community). Keyed per rank so runs are reproducible at any p.
+  util::Xoshiro256StarStar order_rng(
+      util::hash_combine(cfg.base.seed, static_cast<std::uint64_t>(g.v_begin())) ^
+      static_cast<std::uint64_t>(phase) * 0x9e3779b97f4a7c15ULL);
+
+  for (int iter = 0; iter < cfg.base.max_iterations_per_phase; ++iter) {
+    std::int64_t local_active = 0;
+    std::int64_t local_moved = 0;
+    std::fill(moved.begin(), moved.end(), 0);
+
+    for (auto& order : groups) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[order_rng.next_below(i)]);
+    // (i) latest community assignments for all ghost vertices (Alg. 3 l.4-5).
+    {
+      util::ScopedAccum scope(t_ghost);
+      state.ghosts.exchange(comm, state.owned_community, cfg.use_neighbor_exchange);
+    }
+
+    // (ii) authoritative a_c / |c| for every community our vertices or their
+    // neighbours might target.
+    {
+      util::ScopedAccum scope(t_cinfo);
+      needed.assign(state.owned_community.begin(), state.owned_community.end());
+      needed.insert(needed.end(), state.ghosts.values().begin(),
+                    state.ghosts.values().end());
+      std::sort(needed.begin(), needed.end());
+      needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+      state.ledger.refresh(comm, needed);
+    }
+
+    // (iii) local move computation (Alg. 3 l.6-9).
+    {
+      util::ScopedAccum scope(t_compute);
+      for (const VertexId lv : order) {
+        const auto lvi = static_cast<std::size_t>(lv);
+        const VertexId gv = g.to_global(lv);
+
+        if (cfg.uses_et() && !et.is_active(lvi, gv, phase, iter)) continue;
+        ++local_active;
+
+        const CommunityId own = state.owned_community[lvi];
+        const Weight kv = g.weighted_degree(gv);
+
+        nbr_weight.clear();
+        for (const auto& e : g.local().neighbors(lv)) {
+          if (e.dst == gv) continue;
+          const CommunityId cu =
+              g.owns(e.dst)
+                  ? state.owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
+                  : state.ghosts.of(e.dst);
+          nbr_weight[cu] += e.weight;
+        }
+
+        const auto own_it = nbr_weight.find(own);
+        const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+        const Weight a_own_less_v = state.ledger.info(own).degree - kv;
+
+        CommunityId best = own;
+        Weight best_gain = 0;
+        for (const auto& [target, e_target] : nbr_weight) {
+          if (target == own) continue;
+          const Weight gain =
+              (e_target - e_own) / m -
+              gamma * kv * (state.ledger.info(target).degree - a_own_less_v) /
+                  (2 * m * m);
+          if (gain > best_gain ||
+              (gain == best_gain && gain > 0 && best != own && target < best)) {
+            best = target;
+            best_gain = gain;
+          }
+        }
+
+        // Singleton-swap guard (same rationale as the shared-memory
+        // comparator): concurrent ranks working from stale state would
+        // otherwise swap two singleton vertices back and forth forever.
+        if (best != own && state.ledger.info(own).size == 1 &&
+            state.ledger.info(best).size == 1 && best > own) {
+          best = own;
+        }
+
+        if (best != own) {
+          state.ledger.apply_move(own, best, kv);
+          state.owned_community[lvi] = best;
+          moved[lvi] = 1;
+          ++local_moved;
+        }
+      }
+    }
+
+    // (iv) ship community deltas to their owners (Alg. 3 l.10-11).
+    {
+      util::ScopedAccum scope(t_delta);
+      state.ledger.flush_deltas(comm);
+    }
+    }  // group loop
+
+    // (v) global modularity (Alg. 3 l.12-13).
+    Weight curr_mod;
+    std::int64_t global_moved;
+    {
+      util::ScopedAccum scope(t_allreduce);
+      const Weight intra = local_intra_weight(g, state.owned_community, state.ghosts);
+      const Weight degree_term = state.ledger.owned_degree_term();
+      const auto sums = comm.allreduce_sum_vec<Weight>(
+          {intra, degree_term, static_cast<Weight>(local_moved),
+           static_cast<Weight>(local_active)});
+      curr_mod = two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
+      global_moved = static_cast<std::int64_t>(sums[2]);
+      if (cfg.record_iterations) {
+        IterationTelemetry it;
+        it.iteration = iter;
+        it.modularity = curr_mod;
+        it.moved_vertices = global_moved;
+        it.active_vertices = static_cast<std::int64_t>(sums[3]);
+        telemetry.iteration_detail.push_back(it);
+      }
+    }
+
+    // ET probability updates (Eq. 3) happen after the iteration's outcome is
+    // known, for every vertex -- participation does not matter, staying put
+    // does.
+    if (cfg.uses_et()) {
+      for (VertexId lv = 0; lv < local_n; ++lv)
+        et.update(static_cast<std::size_t>(lv), moved[static_cast<std::size_t>(lv)] != 0);
+    }
+
+    ++telemetry.iterations;
+
+    // (vi) exit checks. All variants keep the tau test; ETC adds the global
+    // inactive-fraction vote (its "extra remote communication"), which in
+    // structured graphs fires well before tau does -- the paper's 1.25-2.3x
+    // over plain ET. (Without the tau guard, a phase with a few persistent
+    // oscillators would never reach 90% inactivity and spin to the iteration
+    // cap.) A globally quiescent iteration always ends the phase.
+    bool exit_phase = global_moved == 0 || curr_mod - prev_mod <= tau;
+    if (cfg.variant == Variant::kEtc) {
+      util::ScopedAccum scope(t_allreduce);
+      const auto global_inactive = comm.allreduce_sum<std::int64_t>(et.inactive_count());
+      if (cfg.record_iterations)
+        telemetry.iteration_detail.back().inactive_vertices = global_inactive;
+      if (static_cast<double>(global_inactive) >=
+          cfg.etc_exit_fraction * static_cast<double>(global_n))
+        exit_phase = true;
+    }
+    prev_mod = std::max(prev_mod, curr_mod);
+    if (exit_phase) break;
+  }
+
+  // Exact phase-final modularity: one more ghost push so every rank sees the
+  // final assignments, then the same reduction.
+  {
+    util::ScopedAccum scope(t_ghost);
+    state.ghosts.exchange(comm, state.owned_community, cfg.use_neighbor_exchange);
+  }
+  {
+    util::ScopedAccum scope(t_allreduce);
+    const Weight intra = local_intra_weight(g, state.owned_community, state.ghosts);
+    const Weight degree_term = state.ledger.owned_degree_term();
+    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
+    state.final_modularity =
+        two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
+  }
+
+  telemetry.phase = phase;
+  telemetry.graph_vertices = global_n;
+  telemetry.graph_arcs = g.global_arcs();
+  telemetry.threshold_used = tau;
+  telemetry.modularity_after = state.final_modularity;
+  telemetry.breakdown.ghost_exchange = t_ghost.seconds();
+  telemetry.breakdown.community_info = t_cinfo.seconds();
+  telemetry.breakdown.compute = t_compute.seconds();
+  telemetry.breakdown.delta_exchange = t_delta.seconds();
+  telemetry.breakdown.allreduce = t_allreduce.seconds();
+  return state;
+}
+
+}  // namespace
+
+DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConfig& cfg) {
+  util::WallTimer total_timer;
+  const std::int64_t messages_before = comm.world().messages_sent.load();
+  const std::int64_t bytes_before = comm.world().bytes_sent.load();
+
+  DistResult result;
+
+  // original-vertex -> current-meta-vertex chain, held by the ORIGINAL
+  // owner of each vertex (the original partition never changes).
+  std::vector<VertexId> orig_to_cur(static_cast<std::size_t>(graph.local_count()));
+  std::iota(orig_to_cur.begin(), orig_to_cur.end(), graph.v_begin());
+
+  Weight prev_outer_mod = 0;
+  {
+    // Initial modularity of the singleton partition (needed for the first
+    // outer convergence check).
+    Weight degree_term = 0;
+    Weight intra = 0;
+    for (VertexId lv = 0; lv < graph.local_count(); ++lv) {
+      const VertexId gv = graph.to_global(lv);
+      const Weight k = graph.weighted_degree(gv);
+      degree_term += k * k;
+      for (const auto& e : graph.local().neighbors(lv))
+        if (e.dst == gv) intra += 2 * e.weight;
+    }
+    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
+    const Weight two_m = graph.total_weight();
+    prev_outer_mod = two_m > 0 ? sums[0] / two_m -
+                                     cfg.base.resolution * sums[1] / (two_m * two_m)
+                               : 0.0;
+  }
+
+  bool forced_final = false;  // run once more at the minimum tau (cycling)
+  const double tau_min = cfg.min_threshold();
+
+  for (int phase = 0; phase < cfg.base.max_phases; ++phase) {
+    const double tau = forced_final ? tau_min : cfg.threshold_for_phase(phase);
+
+    util::WallTimer phase_timer;
+    PhaseTelemetry telemetry;
+    auto phase_state = run_phase(comm, graph, cfg, phase, tau, telemetry);
+
+    // Graph reconstruction + assignment-chain update. Always performed so
+    // the final phase's moves are reflected in the output mapping.
+    util::WallTimer rebuild_timer;
+    auto next = rebuild(comm, graph, phase_state.owned_community, phase_state.ghosts,
+                        phase_state.ledger);
+
+    // Route each original vertex's current id to the rank owning it in the
+    // CURRENT partition; owners answer with the collapsed meta-vertex id.
+    {
+      const int p = comm.size();
+      std::vector<std::vector<VertexId>> requests(static_cast<std::size_t>(p));
+      for (const VertexId cur : orig_to_cur)
+        requests[static_cast<std::size_t>(graph.owner(cur))].push_back(cur);
+      const auto incoming = comm.alltoallv<VertexId>(requests);
+      std::vector<std::vector<VertexId>> replies(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        replies[static_cast<std::size_t>(r)].reserve(incoming[static_cast<std::size_t>(r)].size());
+        for (const VertexId cur : incoming[static_cast<std::size_t>(r)])
+          replies[static_cast<std::size_t>(r)].push_back(
+              next.new_vertex_of_current[static_cast<std::size_t>(graph.to_local(cur))]);
+      }
+      const auto answers = comm.alltoallv<VertexId>(std::move(replies));
+      // Answers arrive per rank in the same order we asked; walk both.
+      std::vector<std::size_t> cursor(static_cast<std::size_t>(p), 0);
+      for (auto& cur : orig_to_cur) {
+        const auto owner = static_cast<std::size_t>(graph.owner(cur));
+        cur = answers[owner][cursor[owner]++];
+      }
+    }
+    telemetry.breakdown.rebuild = rebuild_timer.seconds();
+    telemetry.seconds = phase_timer.seconds();
+
+    // Section V-D quality-assessment mode: gather the per-phase vertex-
+    // community associations of the ORIGINAL graph at the root ("extra
+    // collective operations per Louvain method phase").
+    if (cfg.gather_quality) {
+      auto gathered = comm.gatherv<CommunityId>(
+          std::vector<CommunityId>(orig_to_cur.begin(), orig_to_cur.end()), 0);
+      if (comm.rank() == 0) result.phase_assignments.push_back(std::move(gathered));
+    }
+
+    result.phase_telemetry.push_back(telemetry);
+    result.breakdown += telemetry.breakdown;
+    ++result.phases;
+    result.total_iterations += telemetry.iterations;
+
+    const Weight gain = phase_state.final_modularity - prev_outer_mod;
+    prev_outer_mod = std::max(prev_outer_mod, phase_state.final_modularity);
+    graph = std::move(next.graph);
+
+    if (gain <= tau) {
+      if (cfg.uses_cycling() && tau > tau_min && !forced_final) {
+        // Converged at a relaxed tau: force one more phase at the strictest
+        // threshold to secure acceptable modularity (paper Section V-C-a).
+        forced_final = true;
+        continue;
+      }
+      break;
+    }
+    forced_final = false;
+  }
+
+  // Final exact modularity: singleton partition of the final coarse graph.
+  {
+    Weight intra = 0;
+    Weight degree_term = 0;
+    for (VertexId lv = 0; lv < graph.local_count(); ++lv) {
+      const VertexId gv = graph.to_global(lv);
+      const Weight k = graph.weighted_degree(gv);
+      degree_term += k * k;
+      for (const auto& e : graph.local().neighbors(lv))
+        if (e.dst == gv) intra += 2 * e.weight;
+    }
+    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
+    const Weight two_m = graph.total_weight();
+    result.modularity = two_m > 0 ? sums[0] / two_m -
+                                        cfg.base.resolution * sums[1] / (two_m * two_m)
+                                  : 0.0;
+  }
+
+  // Final assignment for all original vertices: original partition slices
+  // concatenate in rank order to the full array.
+  result.community = comm.allgatherv<CommunityId>(
+      std::vector<CommunityId>(orig_to_cur.begin(), orig_to_cur.end()));
+  result.num_communities = graph.global_n();
+  result.seconds = total_timer.seconds();
+  result.messages = comm.world().messages_sent.load() - messages_before;
+  result.bytes = comm.world().bytes_sent.load() - bytes_before;
+  return result;
+}
+
+DistResult dist_louvain_inprocess(int nranks, const graph::Csr& global,
+                                  const DistConfig& cfg, graph::PartitionKind kind) {
+  DistResult result;
+  comm::run(nranks, [&](comm::Comm& comm) {
+    auto dist = graph::DistGraph::from_replicated(comm, global, kind);
+    auto local_result = dist_louvain(comm, std::move(dist), cfg);
+    if (comm.rank() == 0) result = std::move(local_result);
+  });
+  return result;
+}
+
+}  // namespace dlouvain::core

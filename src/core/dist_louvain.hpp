@@ -1,0 +1,30 @@
+// The distributed Louvain algorithm -- the paper's primary contribution
+// (Algorithms 2 and 3 plus the Section IV-B heuristics).
+//
+// Collective: every rank of `comm` calls dist_louvain with its slice of the
+// same DistGraph and an identical config; every rank returns an identical
+// DistResult. The communication protocol per iteration is exactly the
+// paper's: ghost community push, community-info request/reply, local move
+// computation with immediate local updates, community-delta flush to owners,
+// and a modularity all-reduce; phases end with the distributed rebuild.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "core/dist_config.hpp"
+#include "core/telemetry.hpp"
+#include "graph/dist_graph.hpp"
+
+namespace dlouvain::core {
+
+/// Run distributed Louvain over `graph` (consumed: coarsening replaces it
+/// phase by phase).
+DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph,
+                        const DistConfig& config = {});
+
+/// Convenience wrapper for tests/examples: distribute a replicated CSR over
+/// `nranks` in-process ranks and run. Returns the (rank-identical) result.
+DistResult dist_louvain_inprocess(int nranks, const graph::Csr& global,
+                                  const DistConfig& config = {},
+                                  graph::PartitionKind kind = graph::PartitionKind::kEvenEdges);
+
+}  // namespace dlouvain::core

@@ -1,0 +1,84 @@
+// Telemetry for the distributed Louvain run: per-iteration modularity
+// evolution (the raw series behind paper Figs. 5-6), per-phase timings split
+// into the compute / communication buckets of the paper's Section V-A
+// HPCToolkit analysis, and global traffic counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dlouvain::core {
+
+struct IterationTelemetry {
+  int iteration{0};
+  Weight modularity{0};
+  std::int64_t active_vertices{0};   ///< vertices that participated
+  std::int64_t moved_vertices{0};    ///< vertices that changed community
+  std::int64_t inactive_vertices{0}; ///< ET-labelled inactive (global)
+};
+
+/// Wall-time split for one phase, mirroring the paper's breakdown: ghost
+/// community exchange + community-info refresh + delta shipping are the
+/// "communicating community related information" share, the all-reduce is
+/// reported separately, and the per-vertex scan is "computation".
+struct TimeBreakdown {
+  double ghost_exchange{0};
+  double community_info{0};
+  double compute{0};
+  double delta_exchange{0};
+  double allreduce{0};
+  double rebuild{0};
+
+  [[nodiscard]] double total() const {
+    return ghost_exchange + community_info + compute + delta_exchange + allreduce +
+           rebuild;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other) {
+    ghost_exchange += other.ghost_exchange;
+    community_info += other.community_info;
+    compute += other.compute;
+    delta_exchange += other.delta_exchange;
+    allreduce += other.allreduce;
+    rebuild += other.rebuild;
+    return *this;
+  }
+};
+
+struct PhaseTelemetry {
+  int phase{0};
+  int iterations{0};
+  VertexId graph_vertices{0};  ///< size of this phase's (coarsened) graph
+  EdgeId graph_arcs{0};
+  Weight modularity_after{0};
+  double threshold_used{0};
+  double seconds{0};
+  TimeBreakdown breakdown;
+  std::vector<IterationTelemetry> iteration_detail;
+};
+
+/// Result of a distributed Louvain run. Collective-produced: identical on
+/// every rank.
+struct DistResult {
+  /// Final community per ORIGINAL vertex, compact ids [0, num_communities).
+  std::vector<CommunityId> community;
+  Weight modularity{0};  ///< exact (computed on the final coarse graph)
+  CommunityId num_communities{0};
+  int phases{0};
+  long total_iterations{0};
+  double seconds{0};
+  std::vector<PhaseTelemetry> phase_telemetry;
+  TimeBreakdown breakdown;      ///< summed over phases
+  std::int64_t messages{0};     ///< global message count (all ranks)
+  std::int64_t bytes{0};        ///< global payload bytes (all ranks)
+
+  /// Populated only when DistConfig::gather_quality is set, and only on rank
+  /// 0 (the paper's Section V-D mode): element [ph] is the full
+  /// original-vertex community assignment after phase ph, enabling per-phase
+  /// precision/recall/F-score tracking against ground truth.
+  std::vector<std::vector<CommunityId>> phase_assignments;
+};
+
+}  // namespace dlouvain::core

@@ -1,0 +1,24 @@
+// Common result type for all synthetic graph generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dlouvain::gen {
+
+/// A generated graph: undirected edge list (each edge listed once, no
+/// duplicates, no self loops) plus optional planted ground truth.
+struct GeneratedGraph {
+  std::string name;
+  VertexId num_vertices{0};
+  std::vector<Edge> edges;
+  /// Planted community per vertex; empty when the generator has no notion of
+  /// ground truth (e.g. Erdős–Rényi).
+  std::vector<CommunityId> ground_truth;
+
+  [[nodiscard]] EdgeId num_edges() const { return static_cast<EdgeId>(edges.size()); }
+};
+
+}  // namespace dlouvain::gen

@@ -1,0 +1,168 @@
+#include "gen/lfr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/prng.hpp"
+
+namespace dlouvain::gen {
+
+namespace {
+
+using util::Xoshiro256StarStar;
+
+/// Sample from a discrete power law on [lo, hi] with exponent `tau` via
+/// inverse-CDF of the continuous approximation.
+VertexId power_law_sample(Xoshiro256StarStar& rng, VertexId lo, VertexId hi, double tau) {
+  const double u = rng.next_unit();
+  const double a = std::pow(static_cast<double>(lo), 1.0 - tau);
+  const double b = std::pow(static_cast<double>(hi) + 1.0, 1.0 - tau);
+  const double x = std::pow(a + u * (b - a), 1.0 / (1.0 - tau));
+  return std::clamp(static_cast<VertexId>(x), lo, hi);
+}
+
+/// 64-bit pair key for the duplicate-edge filter.
+std::uint64_t pair_key(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+GeneratedGraph lfr(const LfrParams& p) {
+  if (p.num_vertices < 4) throw std::invalid_argument("lfr: too few vertices");
+  if (p.mu < 0.0 || p.mu > 1.0) throw std::invalid_argument("lfr: mu in [0,1]");
+  if (p.min_community < 2 || p.max_community < p.min_community)
+    throw std::invalid_argument("lfr: bad community size bounds");
+  if (p.max_degree < 2 || p.avg_degree < 1.0 || p.avg_degree > static_cast<double>(p.max_degree))
+    throw std::invalid_argument("lfr: bad degree bounds");
+  if (p.num_vertices > (VertexId{1} << 32))
+    throw std::invalid_argument("lfr: pair_key supports < 2^32 vertices");
+
+  Xoshiro256StarStar rng(p.seed);
+  const VertexId n = p.num_vertices;
+
+  GeneratedGraph g;
+  g.name = "lfr";
+  g.num_vertices = n;
+  g.ground_truth.resize(static_cast<std::size_t>(n));
+
+  // 1. Community sizes: power law tau2, truncated to cover exactly n.
+  std::vector<VertexId> comm_size;
+  VertexId assigned = 0;
+  while (assigned < n) {
+    VertexId s = power_law_sample(rng, p.min_community, p.max_community, p.tau2);
+    if (assigned + s > n) s = n - assigned;  // trim the final community
+    comm_size.push_back(s);
+    assigned += s;
+  }
+  // A trimmed final community smaller than min_community is merged backward.
+  if (comm_size.size() > 1 && comm_size.back() < p.min_community) {
+    comm_size[comm_size.size() - 2] += comm_size.back();
+    comm_size.pop_back();
+  }
+  const auto num_comms = static_cast<CommunityId>(comm_size.size());
+
+  std::vector<VertexId> comm_start(static_cast<std::size_t>(num_comms) + 1, 0);
+  for (CommunityId c = 0; c < num_comms; ++c)
+    comm_start[static_cast<std::size_t>(c) + 1] =
+        comm_start[static_cast<std::size_t>(c)] + comm_size[static_cast<std::size_t>(c)];
+  for (CommunityId c = 0; c < num_comms; ++c)
+    for (VertexId v = comm_start[static_cast<std::size_t>(c)];
+         v < comm_start[static_cast<std::size_t>(c) + 1]; ++v)
+      g.ground_truth[static_cast<std::size_t>(v)] = c;
+
+  // 2. Degree sequence: power law tau1 with the requested mean. Sample on
+  // [kmin, max_degree] where kmin is solved (approximately) from the mean.
+  // For tau1 in (2, 3) the mean is roughly kmin * (tau1-1)/(tau1-2).
+  VertexId kmin = std::max<VertexId>(
+      2, static_cast<VertexId>(p.avg_degree * (p.tau1 - 2.0) / (p.tau1 - 1.0)));
+  std::vector<VertexId> degree(static_cast<std::size_t>(n));
+  for (auto& k : degree) k = power_law_sample(rng, kmin, p.max_degree, p.tau1);
+
+  // Rescale toward the requested average (power-law truncation shifts it).
+  const double mean = std::accumulate(degree.begin(), degree.end(), 0.0) /
+                      static_cast<double>(n);
+  for (auto& k : degree) {
+    k = std::clamp<VertexId>(static_cast<VertexId>(std::lround(
+                                 static_cast<double>(k) * p.avg_degree / mean)),
+                             2, p.max_degree);
+  }
+
+  // 3. Split each degree into intra/inter parts; intra capped by community
+  // size - 1 (cannot exceed the number of possible intra partners).
+  std::vector<VertexId> intra_deg(static_cast<std::size_t>(n));
+  std::vector<VertexId> inter_deg(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    const CommunityId c = g.ground_truth[static_cast<std::size_t>(v)];
+    const VertexId cap = comm_size[static_cast<std::size_t>(c)] - 1;
+    const auto want = static_cast<VertexId>(
+        std::lround((1.0 - p.mu) * static_cast<double>(degree[static_cast<std::size_t>(v)])));
+    intra_deg[static_cast<std::size_t>(v)] = std::min(want, cap);
+    inter_deg[static_cast<std::size_t>(v)] =
+        degree[static_cast<std::size_t>(v)] - intra_deg[static_cast<std::size_t>(v)];
+  }
+
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(static_cast<std::size_t>(n) * 8);
+  auto try_add = [&](VertexId a, VertexId b) {
+    if (a == b) return false;
+    const auto [it, inserted] = present.insert(pair_key(a, b));
+    (void)it;
+    if (inserted) g.edges.push_back({std::min(a, b), std::max(a, b), 1.0});
+    return inserted;
+  };
+
+  // 4. Intra-community stub matching, one community at a time.
+  for (CommunityId c = 0; c < num_comms; ++c) {
+    std::vector<VertexId> stubs;
+    for (VertexId v = comm_start[static_cast<std::size_t>(c)];
+         v < comm_start[static_cast<std::size_t>(c) + 1]; ++v)
+      stubs.insert(stubs.end(), static_cast<std::size_t>(intra_deg[static_cast<std::size_t>(v)]), v);
+    if (stubs.size() % 2) stubs.pop_back();
+    // Fisher-Yates shuffle, then pair consecutive stubs; rejected pairs
+    // (self/duplicate) are simply dropped -- LFR tolerates slight degree
+    // deficit and the expectation is preserved.
+    for (std::size_t i = stubs.size(); i > 1; --i)
+      std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) try_add(stubs[i], stubs[i + 1]);
+  }
+
+  // 5. Inter-community stub matching, global; pairs falling inside one
+  // community are re-tried a bounded number of times.
+  std::vector<VertexId> stubs;
+  for (VertexId v = 0; v < n; ++v)
+    stubs.insert(stubs.end(), static_cast<std::size_t>(inter_deg[static_cast<std::size_t>(v)]), v);
+  if (stubs.size() % 2) stubs.pop_back();
+  for (std::size_t i = stubs.size(); i > 1; --i)
+    std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+  std::size_t tail = stubs.size();
+  for (std::size_t i = 0; i + 1 < tail; i += 2) {
+    VertexId a = stubs[i];
+    VertexId b = stubs[i + 1];
+    int attempts = 0;
+    while (attempts < 16 &&
+           g.ground_truth[static_cast<std::size_t>(a)] ==
+               g.ground_truth[static_cast<std::size_t>(b)] &&
+           tail > i + 2) {
+      // Swap b with a random later stub and retry.
+      const std::size_t j = i + 2 + rng.next_below(tail - i - 2);
+      std::swap(stubs[i + 1], stubs[j]);
+      b = stubs[i + 1];
+      ++attempts;
+    }
+    if (g.ground_truth[static_cast<std::size_t>(a)] !=
+        g.ground_truth[static_cast<std::size_t>(b)])
+      try_add(a, b);
+  }
+
+  std::sort(g.edges.begin(), g.edges.end(), [](const Edge& x, const Edge& y) {
+    return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+  });
+  return g;
+}
+
+}  // namespace dlouvain::gen

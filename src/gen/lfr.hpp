@@ -1,0 +1,33 @@
+// LFR-style benchmark generator (Lancichinetti, Fortunato, Radicchi 2008).
+//
+// The paper's quality assessment (Section V-D, Table VII) runs the
+// distributed Louvain against LFR networks with known ground truth and
+// reports precision / recall / F-score. This implementation follows the LFR
+// recipe: power-law degree distribution (exponent tau1), power-law community
+// sizes (exponent tau2), and a mixing parameter mu giving each vertex a
+// (1-mu) fraction of intra-community stubs. Edges are realized by stub
+// matching with bounded rejection, which preserves the degree sequence in
+// expectation -- the property the benchmark's difficulty depends on.
+#pragma once
+
+#include "gen/generated.hpp"
+
+namespace dlouvain::gen {
+
+struct LfrParams {
+  VertexId num_vertices{1000};
+  double avg_degree{20};
+  VertexId max_degree{50};
+  double tau1{2.5};   ///< degree exponent
+  double tau2{1.5};   ///< community-size exponent
+  double mu{0.1};     ///< mixing: fraction of inter-community stubs
+  VertexId min_community{20};
+  VertexId max_community{100};
+  std::uint64_t seed{3};
+};
+
+/// Ground truth included. Throws std::invalid_argument on infeasible
+/// parameter combinations (e.g. max_community < min_community).
+GeneratedGraph lfr(const LfrParams& params);
+
+}  // namespace dlouvain::gen

@@ -1,0 +1,57 @@
+#include "gen/rmat.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace dlouvain::gen {
+
+GeneratedGraph rmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 30)
+    throw std::invalid_argument("rmat: scale must be in [1, 30]");
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0)
+    throw std::invalid_argument("rmat: quadrant probabilities must be a distribution");
+
+  util::Xoshiro256StarStar rng(params.seed);
+  const VertexId n = VertexId{1} << params.scale;
+  const EdgeId target = n * params.edges_per_vertex;
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(target));
+  for (EdgeId e = 0; e < target; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.next_unit();
+      const int quadrant = r < params.a                          ? 0
+                           : r < params.a + params.b             ? 1
+                           : r < params.a + params.b + params.c ? 2
+                                                                 : 3;
+      u = (u << 1) | (quadrant >> 1);
+      v = (v << 1) | (quadrant & 1);
+    }
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.push_back({u, v, 1.0});
+  }
+
+  // Dedup (R-MAT hits hot cells repeatedly).
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& x, const Edge& y) {
+                            return x.src == y.src && x.dst == y.dst;
+                          }),
+              edges.end());
+
+  GeneratedGraph g;
+  g.name = "rmat";
+  g.num_vertices = n;
+  g.edges = std::move(edges);
+  return g;
+}
+
+}  // namespace dlouvain::gen

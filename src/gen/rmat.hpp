@@ -1,0 +1,23 @@
+// R-MAT recursive matrix generator (Chakrabarti et al.) -- produces
+// scale-free graphs with heavy-tailed degree distributions, the structure
+// class of the paper's web-crawl inputs (webbase-2001, sk-2005, uk-2007 have
+// power-law degrees with locally dense host-level clusters).
+#pragma once
+
+#include "gen/generated.hpp"
+
+namespace dlouvain::gen {
+
+struct RmatParams {
+  int scale{10};                 ///< n = 2^scale vertices
+  EdgeId edges_per_vertex{8};    ///< m = n * edges_per_vertex attempted edges
+  double a{0.57}, b{0.19}, c{0.19};  ///< quadrant probabilities (d = 1-a-b-c)
+  std::uint64_t seed{1};
+};
+
+/// Generate an undirected R-MAT graph. Duplicate edges are merged and self
+/// loops discarded, so the realized edge count is below the attempted count
+/// (normal for R-MAT).
+GeneratedGraph rmat(const RmatParams& params);
+
+}  // namespace dlouvain::gen

@@ -1,0 +1,41 @@
+// Elementary graph families used across tests, examples, and surrogates.
+#pragma once
+
+#include "gen/generated.hpp"
+
+namespace dlouvain::gen {
+
+/// Cycle 0-1-...-n-1-0.
+GeneratedGraph ring(VertexId n);
+
+/// `k` cliques of `clique_size` vertices, consecutive cliques joined by one
+/// bridge edge. Ground truth: one community per clique. The classic Louvain
+/// sanity input: near-perfect modularity, obvious answer.
+GeneratedGraph clique_chain(VertexId num_cliques, VertexId clique_size);
+
+/// Banded (diagonal) mesh: vertex v connects to v+1 .. v+band. Structure
+/// class of the paper's "channel" and "nlpkkt240" inputs (banded matrices
+/// from CFD / optimization); Louvain finds contiguous segments.
+GeneratedGraph banded(VertexId n, VertexId band);
+
+/// Watts-Strogatz small world: ring lattice with k/2 neighbours each side,
+/// each edge rewired with probability beta. Structure class of the paper's
+/// CNR input ("small world characteristics").
+GeneratedGraph watts_strogatz(VertexId n, VertexId k, double beta, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p_edge). No planted structure (modularity of whatever
+/// Louvain finds is low); used for negative controls.
+GeneratedGraph erdos_renyi(VertexId n, double p_edge, std::uint64_t seed);
+
+/// Planted partition: `blocks` equal communities, intra-community edge
+/// probability p_in, inter p_out. Ground truth included.
+GeneratedGraph planted_partition(VertexId n, int blocks, double p_in, double p_out,
+                                 std::uint64_t seed);
+
+/// Zachary's karate club (34 vertices, 78 edges) -- the classic real-world
+/// community-detection fixture. Ground truth: the documented two-faction
+/// split after the club's fission. Louvain typically finds 4 communities at
+/// modularity ~0.41-0.42.
+GeneratedGraph karate_club();
+
+}  // namespace dlouvain::gen

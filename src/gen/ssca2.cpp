@@ -1,0 +1,81 @@
+#include "gen/ssca2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace dlouvain::gen {
+
+GeneratedGraph ssca2(const Ssca2Params& params) {
+  if (params.num_vertices < 2 || params.max_clique_size < 2)
+    throw std::invalid_argument("ssca2: need >= 2 vertices and clique cap >= 2");
+  if (params.inter_clique_prob < 0.0 || params.inter_clique_prob > 1.0)
+    throw std::invalid_argument("ssca2: inter_clique_prob in [0,1]");
+
+  util::Xoshiro256StarStar rng(params.seed);
+  const VertexId n = params.num_vertices;
+
+  GeneratedGraph g;
+  g.name = "ssca2";
+  g.num_vertices = n;
+  g.ground_truth.resize(static_cast<std::size_t>(n));
+
+  // Carve [0, n) into cliques of size U[1, max_clique_size].
+  std::vector<VertexId> clique_start;  // start of each clique; sentinel n at end
+  VertexId cursor = 0;
+  while (cursor < n) {
+    clique_start.push_back(cursor);
+    const VertexId size = 1 + static_cast<VertexId>(rng.next_below(
+                                  static_cast<std::uint64_t>(params.max_clique_size)));
+    cursor = std::min<VertexId>(n, cursor + size);
+  }
+  clique_start.push_back(n);
+  const auto num_cliques = static_cast<VertexId>(clique_start.size()) - 1;
+
+  for (VertexId c = 0; c < num_cliques; ++c) {
+    const VertexId lo = clique_start[static_cast<std::size_t>(c)];
+    const VertexId hi = clique_start[static_cast<std::size_t>(c) + 1];
+    for (VertexId i = lo; i < hi; ++i) {
+      g.ground_truth[static_cast<std::size_t>(i)] = c;
+      for (VertexId j = i + 1; j < hi; ++j) g.edges.push_back({i, j, 1.0});
+    }
+  }
+
+  // Sparse inter-clique edges. Connect to a uniformly random vertex outside
+  // the member's own clique; also guarantee chain connectivity so the graph
+  // is one component (one bridge between consecutive cliques).
+  for (VertexId c = 1; c < num_cliques; ++c) {
+    const VertexId a = clique_start[static_cast<std::size_t>(c)] - 1;
+    const VertexId b = clique_start[static_cast<std::size_t>(c)];
+    g.edges.push_back({a, b, 1.0});
+  }
+  if (num_cliques > 1) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (rng.next_unit() >= params.inter_clique_prob) continue;
+      const VertexId c = g.ground_truth[static_cast<std::size_t>(v)];
+      const VertexId lo = clique_start[static_cast<std::size_t>(c)];
+      const VertexId hi = clique_start[static_cast<std::size_t>(c) + 1];
+      const VertexId outside = n - (hi - lo);
+      VertexId pick = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(outside)));
+      if (pick >= lo) pick += hi - lo;  // skip own clique's interval
+      g.edges.push_back({v, pick, 1.0});
+    }
+  }
+
+  // Canonicalize + dedup (bridges may duplicate random inter edges).
+  for (auto& e : g.edges) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  std::sort(g.edges.begin(), g.edges.end(), [](const Edge& x, const Edge& y) {
+    return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+  });
+  g.edges.erase(std::unique(g.edges.begin(), g.edges.end(),
+                            [](const Edge& x, const Edge& y) {
+                              return x.src == y.src && x.dst == y.dst;
+                            }),
+                g.edges.end());
+  return g;
+}
+
+}  // namespace dlouvain::gen

@@ -1,0 +1,25 @@
+// SSCA#2-style generator (DARPA HPCS graph analysis benchmark; the paper
+// uses GTgraph's implementation for its weak-scaling study, Section V-B):
+// the vertex set is carved into random-sized cliques (capped at
+// max_clique_size) with fully-connected intra-clique edges, plus a low
+// probability of inter-clique edges -- "deliberately ... low to enforce good
+// community structure" (paper gets modularity 0.9999+ on these).
+#pragma once
+
+#include "gen/generated.hpp"
+
+namespace dlouvain::gen {
+
+struct Ssca2Params {
+  VertexId num_vertices{10000};
+  VertexId max_clique_size{100};
+  /// Probability that any given clique member gains one extra edge to a
+  /// random vertex of another clique.
+  double inter_clique_prob{0.01};
+  std::uint64_t seed{2};
+};
+
+/// Ground truth: one community per clique.
+GeneratedGraph ssca2(const Ssca2Params& params);
+
+}  // namespace dlouvain::gen

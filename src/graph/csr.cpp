@@ -1,0 +1,81 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dlouvain::graph {
+
+Csr::Csr(VertexId num_vertices, std::vector<EdgeId> offsets, std::vector<HalfEdge> edges)
+    : num_vertices_(num_vertices), offsets_(std::move(offsets)), edges_(std::move(edges)) {
+  if (offsets_.size() != static_cast<std::size_t>(num_vertices_) + 1)
+    throw std::invalid_argument("Csr: offsets must have num_vertices+1 entries");
+  if (offsets_.back() != static_cast<EdgeId>(edges_.size()))
+    throw std::invalid_argument("Csr: offsets.back() must equal edges.size()");
+}
+
+Weight Csr::weighted_degree(VertexId v) const {
+  Weight k = 0;
+  for (const auto& e : neighbors(v)) k += e.dst == v ? 2 * e.weight : e.weight;
+  return k;
+}
+
+Weight Csr::total_arc_weight() const {
+  Weight total = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) total += weighted_degree(v);
+  return total;
+}
+
+Csr build_csr(VertexId num_vertices, std::vector<Edge> arcs, const BuildOptions& opts) {
+  if (num_vertices < 0) throw std::invalid_argument("build_csr: negative vertex count");
+
+  if (opts.symmetrize) {
+    const std::size_t original = arcs.size();
+    arcs.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      const Edge& e = arcs[i];
+      if (e.src != e.dst) arcs.push_back(Edge{e.dst, e.src, e.weight});
+    }
+  }
+
+  for (const Edge& e : arcs) {
+    if (e.src < 0 || e.src >= num_vertices || e.dst < 0 || e.dst >= num_vertices)
+      throw std::out_of_range("build_csr: arc endpoint outside [0, num_vertices)");
+  }
+
+  if (opts.drop_self_loops) {
+    std::erase_if(arcs, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+
+  if (opts.coalesce) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (out > 0 && arcs[out - 1].src == arcs[i].src && arcs[out - 1].dst == arcs[i].dst) {
+        arcs[out - 1].weight += arcs[i].weight;
+      } else {
+        arcs[out++] = arcs[i];
+      }
+    }
+    arcs.resize(out);
+  }
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : arcs) ++offsets[static_cast<std::size_t>(e.src) + 1];
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+
+  std::vector<HalfEdge> edges;
+  edges.reserve(arcs.size());
+  for (const Edge& e : arcs) edges.push_back(HalfEdge{e.dst, e.weight});
+
+  return Csr(num_vertices, std::move(offsets), std::move(edges));
+}
+
+Csr from_edges(VertexId num_vertices, const std::vector<Edge>& undirected_edges) {
+  return build_csr(num_vertices, undirected_edges, BuildOptions{});
+}
+
+}  // namespace dlouvain::graph

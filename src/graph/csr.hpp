@@ -1,0 +1,81 @@
+// Compressed-sparse-row graph storage (paper Section IV: "We use the
+// compressed sparse row (CSR) format to store the vertex and edge lists").
+//
+// A Csr holds `num_vertices` rows; row v lists the arcs leaving v. Undirected
+// graphs are stored symmetrically (both arc directions present), so the total
+// arc weight equals 2m in the modularity formulas.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dlouvain::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Construct from prebuilt arrays. offsets.size() must be n+1 and
+  /// offsets.back() must equal edges.size().
+  Csr(VertexId num_vertices, std::vector<EdgeId> offsets, std::vector<HalfEdge> edges);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] EdgeId num_arcs() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Arcs leaving v (v is a row index in [0, num_vertices)).
+  [[nodiscard]] std::span<const HalfEdge> neighbors(VertexId v) const {
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto hi = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {edges_.data() + lo, hi - lo};
+  }
+
+  /// Unweighted out-degree of row v.
+  [[nodiscard]] EdgeId degree(VertexId v) const {
+    return offsets_[static_cast<std::size_t>(v) + 1] - offsets_[static_cast<std::size_t>(v)];
+  }
+
+  /// Weighted out-degree of row v (k_v in the modularity formulas; self-loop
+  /// weight counts twice, matching the adjacency-matrix convention where a
+  /// self loop contributes A_vv = 2w).
+  [[nodiscard]] Weight weighted_degree(VertexId v) const;
+
+  /// Sum of all arc weights; equals 2m for a symmetric graph with self loops
+  /// pre-doubled at build time.
+  [[nodiscard]] Weight total_arc_weight() const;
+
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const noexcept { return offsets_; }
+  [[nodiscard]] const std::vector<HalfEdge>& edges() const noexcept { return edges_; }
+
+ private:
+  VertexId num_vertices_{0};
+  std::vector<EdgeId> offsets_{0};
+  std::vector<HalfEdge> edges_;
+};
+
+/// Options for assembling a Csr from an arc soup.
+struct BuildOptions {
+  /// Add the reverse of every arc (input is an undirected edge list).
+  bool symmetrize{true};
+  /// Merge parallel arcs by summing their weights.
+  bool coalesce{true};
+  /// Drop self loops entirely (rebuild keeps them -- they carry intra-
+  /// community weight -- but raw inputs usually shouldn't have them).
+  bool drop_self_loops{false};
+};
+
+/// Build a CSR over vertex ids [0, num_vertices) from an arbitrary arc list.
+/// Arcs with endpoints outside the range throw std::out_of_range.
+///
+/// Self loops: a retained self loop (u,u,w) is stored as ONE arc whose weight
+/// is counted twice by weighted_degree(), so modularity arithmetic sees the
+/// conventional A_uu = 2w. (The rebuild step creates these.)
+Csr build_csr(VertexId num_vertices, std::vector<Edge> arcs, const BuildOptions& opts = {});
+
+/// Convenience for tests/examples: undirected edge list -> symmetric CSR.
+Csr from_edges(VertexId num_vertices, const std::vector<Edge>& undirected_edges);
+
+}  // namespace dlouvain::graph

@@ -1,0 +1,213 @@
+#include "graph/dist_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlouvain::graph {
+
+DistGraph DistGraph::build(comm::Comm& comm, const Partition1D& part,
+                           std::vector<Edge> edges, bool symmetrize) {
+  if (part.num_ranks() != comm.size())
+    throw std::invalid_argument("DistGraph::build: partition rank count != comm size");
+
+  const VertexId n = part.num_vertices();
+  const int p = comm.size();
+
+  // Route every arc to the owner of its source; with symmetrize on, each
+  // undirected input edge contributes both directions.
+  std::vector<std::vector<Edge>> outbox(static_cast<std::size_t>(p));
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+      throw std::out_of_range("DistGraph::build: edge endpoint out of range");
+    outbox[static_cast<std::size_t>(part.owner(e.src))].push_back(e);
+    if (symmetrize && e.src != e.dst)
+      outbox[static_cast<std::size_t>(part.owner(e.dst))].push_back(Edge{e.dst, e.src, e.weight});
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+
+  auto inbox = comm.alltoallv<Edge>(std::move(outbox));
+
+  DistGraph g;
+  g.rank_ = comm.rank();
+  g.part_ = part;
+
+  // Re-base sources to local row indices and assemble the local CSR.
+  const VertexId lo = part.begin(comm.rank());
+  std::vector<Edge> local_arcs;
+  std::size_t total = 0;
+  for (const auto& part_arcs : inbox) total += part_arcs.size();
+  local_arcs.reserve(total);
+  for (auto& part_arcs : inbox) {
+    for (Edge& e : part_arcs) {
+      e.src -= lo;
+      local_arcs.push_back(e);
+    }
+    part_arcs.clear();
+    part_arcs.shrink_to_fit();
+  }
+
+  BuildOptions opts;
+  opts.symmetrize = false;  // both directions already routed explicitly
+  opts.coalesce = true;
+  // Note: local row ids in [0, local_count), but dst stays global, so the
+  // CSR is built over max(local_count, n)... build_csr validates endpoints
+  // against one range; handle by building manually instead.
+  const VertexId local_n = part.count(comm.rank());
+  std::sort(local_arcs.begin(), local_arcs.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  // Coalesce duplicates (parallel edges merge weights).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < local_arcs.size(); ++i) {
+    if (out > 0 && local_arcs[out - 1].src == local_arcs[i].src &&
+        local_arcs[out - 1].dst == local_arcs[i].dst) {
+      local_arcs[out - 1].weight += local_arcs[i].weight;
+    } else {
+      local_arcs[out++] = local_arcs[i];
+    }
+  }
+  local_arcs.resize(out);
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(local_n) + 1, 0);
+  for (const Edge& e : local_arcs) ++offsets[static_cast<std::size_t>(e.src) + 1];
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+  std::vector<HalfEdge> half;
+  half.reserve(local_arcs.size());
+  for (const Edge& e : local_arcs) half.push_back(HalfEdge{e.dst, e.weight});
+  g.local_ = Csr(local_n, std::move(offsets), std::move(half));
+
+  // Weighted degrees (global-id self loops detected against the global id).
+  g.degrees_.resize(static_cast<std::size_t>(local_n), 0.0);
+  for (VertexId lv = 0; lv < local_n; ++lv) {
+    const VertexId gv = lv + lo;
+    Weight k = 0;
+    for (const auto& e : g.local_.neighbors(lv)) k += e.dst == gv ? 2 * e.weight : e.weight;
+    g.degrees_[static_cast<std::size_t>(lv)] = k;
+  }
+
+  Weight local_weight = 0;
+  for (const Weight k : g.degrees_) local_weight += k;
+  g.total_weight_ = comm.allreduce_sum(local_weight);
+  g.global_arcs_ = comm.allreduce_sum(g.local_.num_arcs());
+
+  g.discover_ghosts(comm);
+  return g;
+}
+
+DistGraph DistGraph::from_replicated(comm::Comm& comm, const Csr& global,
+                                     PartitionKind kind) {
+  const VertexId n = global.num_vertices();
+  Partition1D part = kind == PartitionKind::kEvenVertices
+                         ? partition_even_vertices(n, comm.size())
+                         : partition_even_edges(n, comm.size(),
+                                                [&](VertexId v) { return global.degree(v); });
+
+  // Each rank contributes only its own rows as directed arcs; the global CSR
+  // is already symmetric, so no symmetrization on build.
+  std::vector<Edge> arcs;
+  for (VertexId v = part.begin(comm.rank()); v < part.end(comm.rank()); ++v) {
+    for (const auto& e : global.neighbors(v)) arcs.push_back(Edge{v, e.dst, e.weight});
+  }
+  return build(comm, part, std::move(arcs), /*symmetrize=*/false);
+}
+
+void DistGraph::validate(comm::Comm& comm) const {
+  const int p = comm.size();
+  std::string local_error;
+
+  // 1. Ghost/mirror symmetry: what I ghost from rank r must equal what rank
+  // r mirrors to me (and vice versa).
+  const auto mirror_echo = comm.alltoallv<VertexId>(ghosts_by_owner_);
+  for (int r = 0; r < p && local_error.empty(); ++r) {
+    if (mirror_echo[static_cast<std::size_t>(r)] != mirrors_[static_cast<std::size_t>(r)])
+      local_error = "ghost/mirror lists disagree with rank " + std::to_string(r);
+  }
+
+  // 2. Reverse-arc check: ship every cross-rank arc to its destination's
+  // owner, which verifies a matching reverse arc exists locally.
+  if (local_error.empty()) {
+    std::vector<std::vector<Edge>> outbox(static_cast<std::size_t>(p));
+    for (VertexId lv = 0; lv < local_count(); ++lv) {
+      const VertexId gv = to_global(lv);
+      for (const auto& e : local_.neighbors(lv)) {
+        if (!owns(e.dst))
+          outbox[static_cast<std::size_t>(owner(e.dst))].push_back(Edge{gv, e.dst, e.weight});
+      }
+    }
+    const auto inbox = comm.alltoallv<Edge>(std::move(outbox));
+    for (const auto& from_rank : inbox) {
+      for (const Edge& arc : from_rank) {
+        // arc.src -> arc.dst exists remotely; we own arc.dst and must hold
+        // the reverse with equal weight.
+        bool found = false;
+        for (const auto& e : local_.neighbors(to_local(arc.dst))) {
+          if (e.dst == arc.src && e.weight == arc.weight) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          local_error = "missing reverse arc " + std::to_string(arc.dst) + "->" +
+                        std::to_string(arc.src);
+          break;
+        }
+      }
+      if (!local_error.empty()) break;
+    }
+  }
+
+  // 3. Degree sums reproduce the cached 2m.
+  Weight local_weight = 0;
+  for (const Weight k : degrees_) local_weight += k;
+  const Weight recomputed = comm.allreduce_sum(local_weight);
+  if (local_error.empty() && recomputed != total_weight_)
+    local_error = "degree sum != cached total weight";
+
+  // Agree on the outcome so every rank throws (or none does).
+  const int worst = comm.allreduce_max<int>(local_error.empty() ? 0 : 1);
+  if (worst != 0) {
+    throw std::logic_error("DistGraph::validate: " +
+                           (local_error.empty() ? std::string("peer rank failed")
+                                                : local_error));
+  }
+}
+
+void DistGraph::discover_ghosts(comm::Comm& comm) {
+  const int p = comm.size();
+
+  // Paper Algorithm 4 (ExchangeGhostVertices): scan local edge lists for
+  // remote endpoints, bucket them by owner...
+  ghosts_by_owner_.assign(static_cast<std::size_t>(p), {});
+  for (const auto& e : local_.edges()) {
+    if (!owns(e.dst)) ghosts_by_owner_[static_cast<std::size_t>(part_.owner(e.dst))].push_back(e.dst);
+  }
+  ghosts_.clear();
+  ghost_index_.clear();
+  for (auto& bucket : ghosts_by_owner_) {
+    std::sort(bucket.begin(), bucket.end());
+    bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+    ghosts_.insert(ghosts_.end(), bucket.begin(), bucket.end());
+  }
+  // Buckets are owner-ordered and internally sorted, and owner intervals are
+  // contiguous in id space, so the concatenation is globally sorted.
+  ghost_index_.reserve(ghosts_.size());
+  for (std::size_t i = 0; i < ghosts_.size(); ++i) ghost_index_[ghosts_[i]] = i;
+
+  // ...then tell each owner which of its vertices we ghost, so owners know
+  // their send lists (mirrors) for the per-iteration community updates.
+  mirrors_ = comm.alltoallv<VertexId>(ghosts_by_owner_);
+
+  // Static exchange topology: peers we either ghost from or mirror to. For
+  // a symmetric graph the two imply each other, so the adjacency is
+  // symmetric world-wide -- the prerequisite for neighbor_alltoallv.
+  neighbor_ranks_.clear();
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    if (!ghosts_by_owner_[static_cast<std::size_t>(r)].empty() ||
+        !mirrors_[static_cast<std::size_t>(r)].empty())
+      neighbor_ranks_.push_back(static_cast<Rank>(r));
+  }
+}
+
+}  // namespace dlouvain::graph

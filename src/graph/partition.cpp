@@ -1,0 +1,38 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dlouvain::graph {
+
+Partition1D::Partition1D(std::vector<VertexId> starts) : starts_(std::move(starts)) {
+  if (starts_.size() < 2) throw std::invalid_argument("Partition1D: need >= 1 rank");
+  if (starts_.front() != 0) throw std::invalid_argument("Partition1D: starts[0] must be 0");
+  if (!std::is_sorted(starts_.begin(), starts_.end()))
+    throw std::invalid_argument("Partition1D: starts must be non-decreasing");
+}
+
+Rank Partition1D::owner(VertexId v) const {
+  if (v < 0 || v >= num_vertices()) throw std::out_of_range("Partition1D::owner: id out of range");
+  // upper_bound finds the first split strictly greater than v; owner is the
+  // interval just before it. Empty intervals are skipped automatically
+  // because their start == end cannot strictly exceed v first.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+  return static_cast<Rank>(it - starts_.begin() - 1);
+}
+
+Partition1D partition_even_vertices(VertexId n, int p) {
+  if (p <= 0) throw std::invalid_argument("partition_even_vertices: p must be positive");
+  std::vector<VertexId> starts(static_cast<std::size_t>(p) + 1);
+  const VertexId base = n / p;
+  const VertexId extra = n % p;
+  starts[0] = 0;
+  for (int r = 0; r < p; ++r) {
+    const VertexId len = base + (r < extra ? 1 : 0);
+    starts[static_cast<std::size_t>(r) + 1] = starts[static_cast<std::size_t>(r)] + len;
+  }
+  return Partition1D(std::move(starts));
+}
+
+}  // namespace dlouvain::graph

@@ -1,0 +1,71 @@
+// 1D vertex partitions (paper Section IV "Input Distribution").
+//
+// Every rank owns a contiguous global-id interval; because the split points
+// are replicated, any rank can compute the owner of any vertex or community
+// without communication ("each process knows the vertex and community
+// intervals owned by every other process").
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dlouvain::graph {
+
+class Partition1D {
+ public:
+  Partition1D() = default;
+
+  /// starts must be non-decreasing with starts.front()==0; rank r owns
+  /// [starts[r], starts[r+1]).
+  explicit Partition1D(std::vector<VertexId> starts);
+
+  [[nodiscard]] int num_ranks() const noexcept { return static_cast<int>(starts_.size()) - 1; }
+  [[nodiscard]] VertexId num_vertices() const noexcept { return starts_.back(); }
+
+  [[nodiscard]] VertexId begin(Rank r) const { return starts_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] VertexId end(Rank r) const { return starts_[static_cast<std::size_t>(r) + 1]; }
+  [[nodiscard]] VertexId count(Rank r) const { return end(r) - begin(r); }
+
+  /// Owner rank of global id v (binary search over split points).
+  [[nodiscard]] Rank owner(VertexId v) const;
+
+  [[nodiscard]] const std::vector<VertexId>& starts() const noexcept { return starts_; }
+
+  friend bool operator==(const Partition1D&, const Partition1D&) = default;
+
+ private:
+  std::vector<VertexId> starts_{0};
+};
+
+/// Even split of [0, n) into p intervals (remainder spread over low ranks).
+Partition1D partition_even_vertices(VertexId n, int p);
+
+/// Edge-balanced split: choose split points so each rank's interval carries
+/// roughly total_degree/p arc endpoints. `degree(v)` is queried for each
+/// vertex once; works for any degree oracle (CSR row length, generator
+/// metadata, ...). This is the paper's "each process receives roughly the
+/// same number of edges" distribution.
+template <typename DegreeFn>
+Partition1D partition_even_edges(VertexId n, int p, DegreeFn&& degree) {
+  EdgeId total = 0;
+  for (VertexId v = 0; v < n; ++v) total += degree(v);
+  std::vector<VertexId> starts(static_cast<std::size_t>(p) + 1, n);
+  starts[0] = 0;
+  EdgeId cum = 0;
+  int next_split = 1;
+  for (VertexId v = 0; v < n && next_split < p; ++v) {
+    cum += degree(v);
+    // Place split k after the vertex where cumulative degree crosses k/p of
+    // the total. Guarantees monotone, possibly-empty tail intervals.
+    while (next_split < p &&
+           cum * p >= total * next_split) {
+      starts[static_cast<std::size_t>(next_split++)] = v + 1;
+    }
+  }
+  for (int k = next_split; k < p; ++k) starts[static_cast<std::size_t>(k)] = n;
+  starts[static_cast<std::size_t>(p)] = n;
+  return Partition1D(std::move(starts));
+}
+
+}  // namespace dlouvain::graph

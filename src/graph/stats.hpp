@@ -1,0 +1,41 @@
+// Structural summary statistics for graphs -- used by the CLI tool, the
+// generator validation tests, and the bench banners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::graph {
+
+struct DegreeStats {
+  EdgeId min_degree{0};
+  EdgeId max_degree{0};
+  double mean_degree{0};
+  double stddev_degree{0};
+  VertexId isolated_vertices{0};
+  EdgeId self_loops{0};
+  Weight total_weight_2m{0};
+  /// log2 histogram: bucket[i] counts vertices with degree in [2^i, 2^(i+1)).
+  /// bucket[0] also holds degree-0 and degree-1 vertices.
+  std::vector<VertexId> log2_histogram;
+};
+
+DegreeStats degree_stats(const Csr& g);
+
+/// Mean local clustering coefficient over (up to) `sample` vertices with
+/// degree >= 2, computed exactly by sorted-adjacency intersection.
+/// Deterministic: samples vertices at a fixed stride.
+double mean_clustering_coefficient(const Csr& g, VertexId sample = 2000);
+
+/// Connected components via union-find; returns component id per vertex
+/// (smallest member id) and the component count.
+struct ComponentsResult {
+  std::vector<VertexId> component;
+  VertexId count{0};
+};
+ComponentsResult connected_components(const Csr& g);
+
+}  // namespace dlouvain::graph

@@ -1,0 +1,74 @@
+#include "louvain/coarsen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace dlouvain::louvain {
+
+CommunityId compact_ids(std::vector<CommunityId>& community) {
+  std::map<CommunityId, CommunityId> renumber;  // ordered: stable compact ids
+  for (const auto c : community) renumber.emplace(c, 0);
+  CommunityId next = 0;
+  for (auto& [old_id, new_id] : renumber) new_id = next++;
+  for (auto& c : community) c = renumber.at(c);
+  return next;
+}
+
+std::vector<CommunityId> compose(std::span<const CommunityId> orig_to_curr,
+                                 std::span<const CommunityId> curr_assignment) {
+  std::vector<CommunityId> out(orig_to_curr.size());
+  for (std::size_t i = 0; i < orig_to_curr.size(); ++i) {
+    const auto cur = orig_to_curr[i];
+    if (cur < 0 || static_cast<std::size_t>(cur) >= curr_assignment.size())
+      throw std::out_of_range("compose: mapping out of range");
+    out[i] = curr_assignment[static_cast<std::size_t>(cur)];
+  }
+  return out;
+}
+
+CoarsenResult coarsen(const graph::Csr& g, std::span<const CommunityId> community) {
+  const VertexId n = g.num_vertices();
+  if (community.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("coarsen: assignment size != num vertices");
+
+  CoarsenResult result;
+  result.old_to_new.assign(community.begin(), community.end());
+  result.num_meta_vertices = compact_ids(result.old_to_new);
+
+  // Accumulate meta arcs. Distinct-member intra weight is summed into `intra`
+  // (it double counts each undirected pair) and halved at the end; stored
+  // member self loops land in `self` at face value.
+  std::map<std::pair<CommunityId, CommunityId>, Weight> inter;
+  std::vector<Weight> intra(static_cast<std::size_t>(result.num_meta_vertices), 0.0);
+  std::vector<Weight> self(static_cast<std::size_t>(result.num_meta_vertices), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const CommunityId cv = result.old_to_new[static_cast<std::size_t>(v)];
+    for (const auto& e : g.neighbors(v)) {
+      const CommunityId cu = result.old_to_new[static_cast<std::size_t>(e.dst)];
+      if (e.dst == v) {
+        self[static_cast<std::size_t>(cv)] += e.weight;
+      } else if (cu == cv) {
+        intra[static_cast<std::size_t>(cv)] += e.weight;
+      } else {
+        inter[{cv, cu}] += e.weight;
+      }
+    }
+  }
+
+  std::vector<Edge> arcs;
+  arcs.reserve(inter.size() + static_cast<std::size_t>(result.num_meta_vertices));
+  for (const auto& [key, w] : inter) arcs.push_back({key.first, key.second, w});
+  for (CommunityId c = 0; c < result.num_meta_vertices; ++c) {
+    const Weight loop = intra[static_cast<std::size_t>(c)] / 2 + self[static_cast<std::size_t>(c)];
+    if (loop > 0) arcs.push_back({c, c, loop});
+  }
+
+  graph::BuildOptions opts;
+  opts.symmetrize = false;  // both inter directions were accumulated already
+  opts.coalesce = true;
+  result.graph = graph::build_csr(result.num_meta_vertices, std::move(arcs), opts);
+  return result;
+}
+
+}  // namespace dlouvain::louvain

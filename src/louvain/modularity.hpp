@@ -1,0 +1,27 @@
+// Modularity computation (Newman-Girvan), in the e_c / a_c form of the
+// paper's Equation 2. Two independent implementations are provided so tests
+// can cross-check the fast one against a from-the-definition one.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::louvain {
+
+/// Q_gamma = sum_c [ E_c/(2m) - gamma (a_c/(2m))^2 ], where E_c counts
+/// intra-community arc weight in both directions (self loops contribute 2w)
+/// and a_c = sum of weighted degrees of c's members. gamma = 1 is classical
+/// modularity (paper Eq. 2). Runs in O(n + arcs). `community` may use
+/// arbitrary (non-compact) ids.
+Weight modularity(const graph::Csr& g, std::span<const CommunityId> community,
+                  double resolution = 1.0);
+
+/// From-the-definition reference: builds the full per-community edge/degree
+/// sums with hash maps and evaluates Equation 1 via Equation 2 term by term.
+/// O(arcs) too but independently coded; used as the test oracle.
+Weight modularity_reference(const graph::Csr& g, std::span<const CommunityId> community,
+                            double resolution = 1.0);
+
+}  // namespace dlouvain::louvain

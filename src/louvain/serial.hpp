@@ -1,0 +1,15 @@
+// Serial Louvain (paper Algorithm 1 + between-phase coarsening): the
+// reference implementation every parallel variant is validated against.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "louvain/config.hpp"
+
+namespace dlouvain::louvain {
+
+/// Run the classic asynchronous (in-sweep updates) Louvain method.
+/// Deterministic: vertices are swept in id order and ties break toward the
+/// smaller community id.
+LouvainResult louvain_serial(const graph::Csr& g, const LouvainConfig& config = {});
+
+}  // namespace dlouvain::louvain

@@ -1,0 +1,233 @@
+#include "louvain/shared.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "louvain/coarsen.hpp"
+#include "louvain/early_term.hpp"
+#include "louvain/modularity.hpp"
+#include "louvain/vertex_follow.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace dlouvain::louvain {
+
+namespace {
+
+struct PhaseOutput {
+  std::vector<CommunityId> community;
+  std::int64_t inactive{0};
+};
+
+// One phase of Grappolo-style parallel Louvain: vertices are swept in
+// parallel with ASYNCHRONOUS in-place community updates (a mover's new
+// community is visible to every vertex processed after it), which is what
+// lets boundary adjustments propagate within a sweep instead of one step per
+// iteration. Community aggregates (a_c, |c|) and the global modularity are
+// maintained incrementally under a short critical section per accepted move,
+// so the per-iteration cost is proportional to the ACTIVE vertex set -- the
+// property the early-termination heuristic's Table I economics rely on.
+// With more than one thread the sweep is racy in the benign Grappolo sense
+// (a reader may see a neighbour's pre- or post-move community); the exact
+// modularity is recomputed once at phase end.
+PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
+                      PhaseStats& stats) {
+  const VertexId n = g.num_vertices();
+  const Weight two_m = g.total_arc_weight();
+  const Weight m = two_m / 2;
+
+  std::vector<CommunityId> curr(static_cast<std::size_t>(n));
+  std::iota(curr.begin(), curr.end(), CommunityId{0});
+
+  std::vector<Weight> k(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) k[static_cast<std::size_t>(v)] = g.weighted_degree(v);
+  std::vector<Weight> a = k;                                   // community degree
+  std::vector<VertexId> size(static_cast<std::size_t>(n), 1);  // community sizes
+
+  EtState et(cfg.early_termination ? static_cast<std::size_t>(n) : 0, cfg.et_alpha,
+             cfg.et_inactive_cutoff, cfg.seed);
+
+  // Incrementally maintained modularity state. Initially every vertex is a
+  // singleton: intra weight is just the self loops (A_vv = 2w), degree term
+  // is sum k^2.
+  Weight intra = 0;
+  Weight degree_term = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree_term += k[static_cast<std::size_t>(v)] * k[static_cast<std::size_t>(v)];
+    for (const auto& e : g.neighbors(v))
+      if (e.dst == v) intra += 2 * e.weight;
+  }
+  const double gamma = cfg.resolution;
+  const auto q_of = [&] {
+    return two_m > 0 ? intra / two_m - gamma * degree_term / (two_m * two_m) : 0.0;
+  };
+  Weight prev_mod = q_of();
+
+  // Seeded-random sweep order, reshuffled per iteration: index-order sweeps
+  // let the first-formed community drain every later vertex on graphs with
+  // id-correlated locality (see louvain/serial.cpp for the full rationale).
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), VertexId{0});
+  util::Xoshiro256StarStar order_rng(cfg.seed ^ 0x9d2c5680aa3b1e4fULL);
+
+  for (int iter = 0; iter < cfg.max_iterations_per_phase; ++iter) {
+    std::int64_t moved_count = 0;
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[order_rng.next_below(i)]);
+
+#ifdef _OPENMP
+#pragma omp parallel reduction(+ : moved_count)
+#endif
+    {
+      std::unordered_map<CommunityId, Weight> nbr_weight;
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 256)
+#endif
+      for (VertexId slot = 0; slot < n; ++slot) {
+        const VertexId v = order[static_cast<std::size_t>(slot)];
+        const auto vi = static_cast<std::size_t>(v);
+        if (cfg.early_termination && !et.is_active(vi, v, phase, iter)) {
+          et.update(vi, false);
+          continue;
+        }
+
+        const CommunityId own = curr[vi];
+        const Weight kv = k[vi];
+
+        nbr_weight.clear();
+        for (const auto& e : g.neighbors(v)) {
+          if (e.dst == v) continue;
+          nbr_weight[curr[static_cast<std::size_t>(e.dst)]] += e.weight;
+        }
+        const auto own_it = nbr_weight.find(own);
+        const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+        const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
+
+        CommunityId best = own;
+        Weight best_gain = 0;
+        Weight best_e = e_own;
+        for (const auto& [target, e_target] : nbr_weight) {
+          if (target == own) continue;
+          const Weight gain =
+              (e_target - e_own) / m -
+              gamma * kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) /
+                  (2 * m * m);
+          if (gain > best_gain ||
+              (gain == best_gain && gain > 0 && best != own && target < best)) {
+            best = target;
+            best_gain = gain;
+            best_e = e_target;
+          }
+        }
+
+        // Singleton-swap guard: prevents two concurrently-processed singleton
+        // vertices from endlessly exchanging communities; only the
+        // id-decreasing direction is allowed.
+        if (best != own && size[static_cast<std::size_t>(own)] == 1 &&
+            size[static_cast<std::size_t>(best)] == 1 && best > own) {
+          best = own;
+        }
+
+        const bool moved = best != own;
+        if (moved) {
+#ifdef _OPENMP
+#pragma omp critical(dlouvain_shared_move)
+#endif
+          {
+            const Weight a_s = a[static_cast<std::size_t>(own)];
+            const Weight a_t = a[static_cast<std::size_t>(best)];
+            degree_term += (a_s - kv) * (a_s - kv) - a_s * a_s +
+                           (a_t + kv) * (a_t + kv) - a_t * a_t;
+            a[static_cast<std::size_t>(own)] -= kv;
+            a[static_cast<std::size_t>(best)] += kv;
+            --size[static_cast<std::size_t>(own)];
+            ++size[static_cast<std::size_t>(best)];
+            intra += 2 * (best_e - e_own);
+            curr[vi] = best;
+          }
+          ++moved_count;
+        }
+        if (cfg.early_termination) et.update(vi, moved);
+      }
+    }
+
+    ++stats.iterations;
+    const Weight curr_mod = q_of();
+    const bool converged = curr_mod - prev_mod <= cfg.threshold;
+    prev_mod = std::max(prev_mod, curr_mod);
+    if (converged || moved_count == 0) break;
+  }
+
+  // The incremental tracker is exact single-threaded and drift-bounded under
+  // races; report the exactly recomputed value.
+  stats.modularity_after = modularity(g, curr, gamma);
+  stats.graph_vertices = n;
+  stats.graph_arcs = g.num_arcs();
+  stats.threshold_used = cfg.threshold;
+  PhaseOutput out;
+  out.community = std::move(curr);
+  out.inactive = cfg.early_termination ? et.inactive_count() : 0;
+  return out;
+}
+
+}  // namespace
+
+LouvainResult louvain_shared(const graph::Csr& g, const LouvainConfig& cfg,
+                             int num_threads) {
+#ifdef _OPENMP
+  if (num_threads > 0) omp_set_num_threads(num_threads);
+#else
+  (void)num_threads;
+#endif
+
+  util::WallTimer total_timer;
+
+  if (cfg.vertex_following) {
+    // Same preprocessing as the serial driver: collapse degree-1 vertices
+    // into their hosts, solve the compacted graph, re-expand.
+    const auto vf = vertex_follow_assignment(g);
+    const auto pre = coarsen(g, vf);
+    LouvainConfig inner = cfg;
+    inner.vertex_following = false;
+    auto result = louvain_shared(pre.graph, inner, num_threads);
+    result.community = compose(pre.old_to_new, result.community);
+    result.seconds = total_timer.seconds();
+    return result;
+  }
+
+  LouvainResult result;
+  result.community.resize(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(result.community.begin(), result.community.end(), CommunityId{0});
+
+  graph::Csr current = g;
+  Weight prev_mod = modularity(current, result.community, cfg.resolution);
+
+  for (int phase = 0; phase < cfg.max_phases; ++phase) {
+    util::WallTimer phase_timer;
+    PhaseStats stats;
+    auto phase_out = run_phase(current, cfg, phase, stats);
+    stats.seconds = phase_timer.seconds();
+    stats.inactive_vertices = phase_out.inactive;
+    result.phase_stats.push_back(stats);
+    ++result.phases;
+    result.total_iterations += stats.iterations;
+
+    const auto coarse = coarsen(current, phase_out.community);
+    result.community = compose(result.community, coarse.old_to_new);
+
+    if (stats.modularity_after - prev_mod <= cfg.threshold) break;
+    prev_mod = stats.modularity_after;
+    current = std::move(coarse.graph);
+  }
+
+  result.modularity = prev_mod;
+  result.num_communities = compact_ids(result.community);
+  result.seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace dlouvain::louvain

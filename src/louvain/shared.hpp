@@ -1,0 +1,27 @@
+// Shared-memory multithreaded Louvain -- the project's comparator standing in
+// for Grappolo [Lu, Halappanavar, Kalyanaraman 2015], which the paper uses
+// as its shared-memory baseline (Tables I and III).
+//
+// Like Grappolo, move decisions within an iteration are taken against the
+// PREVIOUS iteration's community state, so all vertices can be processed in
+// parallel; the singleton-swap guard ("a vertex in a singleton community may
+// move to another singleton community only if that community's id is
+// smaller") prevents the classic two-vertex oscillation of synchronous label
+// updates. Results are deterministic and independent of thread count.
+//
+// Supports the ET heuristic (paper Table I modified Grappolo exactly this
+// way) via LouvainConfig::early_termination / et_alpha.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "louvain/config.hpp"
+
+namespace dlouvain::louvain {
+
+/// Run synchronous parallel Louvain with `num_threads` OpenMP threads
+/// (<=0 = library default). Falls back to one thread when built without
+/// OpenMP.
+LouvainResult louvain_shared(const graph::Csr& g, const LouvainConfig& config = {},
+                             int num_threads = 0);
+
+}  // namespace dlouvain::louvain

@@ -1,0 +1,44 @@
+#include "louvain/vertex_follow.hpp"
+
+#include <numeric>
+
+namespace dlouvain::louvain {
+
+std::vector<CommunityId> vertex_follow_assignment(const graph::Csr& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<CommunityId> assignment(static_cast<std::size_t>(n));
+  std::iota(assignment.begin(), assignment.end(), CommunityId{0});
+
+  // Distinct non-self neighbour; kInvalidVertex when degree != 1.
+  const auto sole_neighbor = [&](VertexId v) {
+    VertexId found = kInvalidVertex;
+    for (const auto& e : g.neighbors(v)) {
+      if (e.dst == v) continue;
+      if (found != kInvalidVertex && found != e.dst) return kInvalidVertex;
+      found = e.dst;
+    }
+    return found;
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId host = sole_neighbor(v);
+    if (host == kInvalidVertex) continue;
+    if (sole_neighbor(host) != kInvalidVertex) {
+      // Mutually-degree-1 pair: collapse onto the smaller id (doing it from
+      // both sides is idempotent).
+      assignment[static_cast<std::size_t>(v)] = std::min(v, host);
+    } else {
+      assignment[static_cast<std::size_t>(v)] = host;
+    }
+  }
+  return assignment;
+}
+
+VertexId followed_count(std::span<const CommunityId> assignment) {
+  VertexId count = 0;
+  for (std::size_t v = 0; v < assignment.size(); ++v)
+    count += assignment[v] != static_cast<CommunityId>(v) ? 1 : 0;
+  return count;
+}
+
+}  // namespace dlouvain::louvain

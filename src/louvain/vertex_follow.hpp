@@ -1,0 +1,27 @@
+// Vertex following -- a Grappolo preprocessing heuristic [Lu et al. 2015]
+// the paper cites among "a different set of heuristics such as coloring and
+// vertex following" deployed by its shared-memory comparator: a degree-1
+// vertex ("satellite") can never profitably sit anywhere except its sole
+// neighbour's community, so it is merged into that neighbour BEFORE Louvain
+// starts, shrinking the first (most expensive) phase.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::louvain {
+
+/// The follow assignment in vertex-id space: each degree-1 vertex maps to its
+/// sole neighbour's id (two mutually-degree-1 vertices collapse onto the
+/// smaller id); every other vertex maps to itself. Feeding this to coarsen()
+/// yields the VF-compacted graph with all weight conventions intact.
+/// Degree counts distinct non-self neighbours.
+std::vector<CommunityId> vertex_follow_assignment(const graph::Csr& g);
+
+/// Number of vertices a follow assignment eliminates.
+VertexId followed_count(std::span<const CommunityId> assignment);
+
+}  // namespace dlouvain::louvain

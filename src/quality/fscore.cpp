@@ -1,0 +1,60 @@
+#include "quality/fscore.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dlouvain::quality {
+
+QualityScores compare_to_ground_truth(std::span<const CommunityId> detected,
+                                      std::span<const CommunityId> truth) {
+  if (detected.size() != truth.size())
+    throw std::invalid_argument("compare_to_ground_truth: size mismatch");
+  if (detected.empty())
+    throw std::invalid_argument("compare_to_ground_truth: empty input");
+
+  std::unordered_map<CommunityId, double> detected_size;
+  std::unordered_map<CommunityId, double> truth_size;
+  // overlap[g] = (detected community -> #common vertices)
+  std::unordered_map<CommunityId, std::unordered_map<CommunityId, double>> overlap;
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    ++detected_size[detected[v]];
+    ++truth_size[truth[v]];
+    ++overlap[truth[v]][detected[v]];
+  }
+
+  double precision_sum = 0;
+  double recall_sum = 0;
+  double f_sum = 0;
+  double weight_sum = 0;
+  for (const auto& [g, matches] : overlap) {
+    // Best-matching detected community for this ground-truth community.
+    CommunityId best = -1;
+    double best_common = -1;
+    for (const auto& [d, common] : matches) {
+      if (common > best_common || (common == best_common && d < best)) {
+        best = d;
+        best_common = common;
+      }
+    }
+    const double g_size = truth_size.at(g);
+    const double d_size = detected_size.at(best);
+    const double precision = best_common / d_size;
+    const double recall = best_common / g_size;
+    const double f =
+        precision + recall > 0 ? 2 * precision * recall / (precision + recall) : 0.0;
+    precision_sum += g_size * precision;
+    recall_sum += g_size * recall;
+    f_sum += g_size * f;
+    weight_sum += g_size;
+  }
+
+  QualityScores scores;
+  scores.precision = precision_sum / weight_sum;
+  scores.recall = recall_sum / weight_sum;
+  scores.f_score = f_sum / weight_sum;
+  scores.ground_truth_communities = overlap.size();
+  scores.detected_communities = detected_size.size();
+  return scores;
+}
+
+}  // namespace dlouvain::quality

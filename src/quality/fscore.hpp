@@ -1,0 +1,31 @@
+// Community quality against ground truth: precision / recall / F-score,
+// following the methodology the paper adopts from Halappanavar et al. [14]
+// (Section V-D): each ground-truth community is matched to the detected
+// community holding the largest share of its members; per-community
+// precision |g ∩ d| / |d| and recall |g ∩ d| / |g| are averaged weighted by
+// community size. When Louvain merges ground-truth communities (the typical
+// resolution-limit behaviour) recall stays 1.0 while precision drops --
+// exactly the signature of the paper's Table VII.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace dlouvain::quality {
+
+struct QualityScores {
+  double precision{0};
+  double recall{0};
+  double f_score{0};
+  std::size_t ground_truth_communities{0};
+  std::size_t detected_communities{0};
+};
+
+/// `detected` and `truth` map each vertex to a community id (arbitrary ids).
+/// Throws std::invalid_argument on length mismatch or empty input.
+QualityScores compare_to_ground_truth(std::span<const CommunityId> detected,
+                                      std::span<const CommunityId> truth);
+
+}  // namespace dlouvain::quality

@@ -1,0 +1,60 @@
+#include "quality/nmi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dlouvain::quality {
+
+namespace {
+
+std::uint64_t pair_key(CommunityId x, CommunityId y) {
+  // Labels are hashed to 32-bit slots; collisions are astronomically
+  // unlikely for community counts below 2^32.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+         static_cast<std::uint32_t>(y);
+}
+
+}  // namespace
+
+double normalized_mutual_information(std::span<const CommunityId> a,
+                                     std::span<const CommunityId> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("normalized_mutual_information: size mismatch");
+  if (a.empty()) throw std::invalid_argument("normalized_mutual_information: empty input");
+
+  const double n = static_cast<double>(a.size());
+  std::unordered_map<CommunityId, double> count_a;
+  std::unordered_map<CommunityId, double> count_b;
+  std::unordered_map<std::uint64_t, double> joint;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ++count_a[a[v]];
+    ++count_b[b[v]];
+    ++joint[pair_key(a[v], b[v])];
+  }
+
+  const auto entropy = [&](const std::unordered_map<CommunityId, double>& counts) {
+    double h = 0;
+    for (const auto& [label, c] : counts) {
+      const double p = c / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double h_a = entropy(count_a);
+  const double h_b = entropy(count_b);
+  if (h_a + h_b == 0.0) return 1.0;  // both trivial partitions agree
+
+  double mutual = 0;
+  for (const auto& [key, c] : joint) {
+    const auto label_a = static_cast<CommunityId>(static_cast<std::int32_t>(key >> 32));
+    const auto label_b = static_cast<CommunityId>(static_cast<std::int32_t>(key & 0xffffffffu));
+    const double p_joint = c / n;
+    const double p_a = count_a.at(label_a) / n;
+    const double p_b = count_b.at(label_b) / n;
+    mutual += p_joint * std::log(p_joint / (p_a * p_b));
+  }
+  return 2.0 * mutual / (h_a + h_b);
+}
+
+}  // namespace dlouvain::quality

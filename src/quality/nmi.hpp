@@ -1,0 +1,21 @@
+// Normalized Mutual Information between two community assignments -- the
+// other standard agreement score in the community-detection literature
+// (Lancichinetti & Fortunato use it to evaluate LFR results), complementing
+// the F-score methodology of the paper's Section V-D.
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+
+namespace dlouvain::quality {
+
+/// NMI(X;Y) = 2 I(X;Y) / (H(X) + H(Y)), computed from the label count
+/// tables. 1.0 for identical partitions (up to relabeling), ~0 for
+/// independent ones. Both-trivial partitions (single community each)
+/// conventionally score 1.0. Throws std::invalid_argument on length
+/// mismatch or empty input.
+double normalized_mutual_information(std::span<const CommunityId> a,
+                                     std::span<const CommunityId> b);
+
+}  // namespace dlouvain::quality

@@ -1,0 +1,67 @@
+#include "quality/summary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dlouvain::quality {
+
+std::vector<CommunitySummary> summarize_communities(
+    const graph::Csr& g, std::span<const CommunityId> community) {
+  const VertexId n = g.num_vertices();
+  if (community.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("summarize_communities: assignment size mismatch");
+
+  std::unordered_map<CommunityId, CommunitySummary> map;
+  for (VertexId v = 0; v < n; ++v) {
+    const CommunityId cv = community[static_cast<std::size_t>(v)];
+    auto& s = map[cv];
+    s.id = cv;
+    ++s.size;
+    s.total_degree += g.weighted_degree(v);
+    for (const auto& e : g.neighbors(v)) {
+      if (e.dst == v) {
+        s.internal_weight += e.weight;  // self loop: one edge, full weight
+        continue;
+      }
+      if (community[static_cast<std::size_t>(e.dst)] == cv) {
+        s.internal_weight += e.weight / 2;  // both arcs visit; half each
+      } else {
+        s.boundary_weight += e.weight;
+      }
+    }
+  }
+
+  const Weight two_m = g.total_arc_weight();
+  std::vector<CommunitySummary> out;
+  out.reserve(map.size());
+  for (auto& [id, s] : map) {
+    const Weight volume = s.total_degree;
+    const Weight denom = std::min(volume, two_m - volume);
+    s.conductance = denom > 0 ? s.boundary_weight / denom : 0.0;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const CommunitySummary& a, const CommunitySummary& b) {
+    return a.size != b.size ? a.size > b.size : a.id < b.id;
+  });
+  return out;
+}
+
+double coverage(const graph::Csr& g, std::span<const CommunityId> community) {
+  const Weight two_m = g.total_arc_weight();
+  if (two_m <= 0) return 0.0;
+  Weight intra = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const CommunityId cv = community[static_cast<std::size_t>(v)];
+    for (const auto& e : g.neighbors(v)) {
+      if (e.dst == v) {
+        intra += 2 * e.weight;
+      } else if (community[static_cast<std::size_t>(e.dst)] == cv) {
+        intra += e.weight;
+      }
+    }
+  }
+  return intra / two_m;
+}
+
+}  // namespace dlouvain::quality

@@ -1,0 +1,32 @@
+// Per-community structural summaries of a detected partition -- the
+// post-processing view users want after community detection: how big is each
+// community, how dense inside, how leaky at the boundary.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::quality {
+
+struct CommunitySummary {
+  CommunityId id{0};
+  VertexId size{0};
+  Weight internal_weight{0};   ///< sum of intra-community edge weight (each edge once)
+  Weight boundary_weight{0};   ///< sum of edge weight crossing the boundary
+  Weight total_degree{0};      ///< a_c: summed weighted degrees of members
+  /// cut / min(vol, 2m - vol); 0 for isolated communities, low = well separated.
+  double conductance{0};
+};
+
+/// Summaries for every community in `community` (arbitrary ids), ordered by
+/// descending size (ties by ascending id). O(n + arcs).
+std::vector<CommunitySummary> summarize_communities(
+    const graph::Csr& g, std::span<const CommunityId> community);
+
+/// Weighted coverage: fraction of total edge weight that is intra-community.
+double coverage(const graph::Csr& g, std::span<const CommunityId> community);
+
+}  // namespace dlouvain::quality

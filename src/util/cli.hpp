@@ -1,0 +1,56 @@
+// Minimal command-line flag parser for the bench harnesses and examples.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlouvain::util {
+
+class Cli {
+ public:
+  /// Parse argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Declare a flag with a default, returning its value. Declared flags are
+  /// also what `help()` lists and what unknown-flag checking validates.
+  std::string get_string(const std::string& name, std::string def,
+                         const std::string& help = "");
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& help = "");
+  bool get_flag(const std::string& name, bool def = false,
+                const std::string& help = "");
+
+  /// Comma-separated list of integers, e.g. `--ranks 2,4,8`.
+  std::vector<std::int64_t> get_int_list(const std::string& name,
+                                         std::vector<std::int64_t> def,
+                                         const std::string& help = "");
+  /// Comma-separated list of doubles, e.g. `--alpha 0.25,0.75`.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> def,
+                                      const std::string& help = "");
+
+  /// Call after all get_* declarations: errors out (returns false and prints
+  /// to stderr) if the user passed a flag nobody declared, or passed --help.
+  [[nodiscard]] bool finish() const;
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  mutable std::vector<std::string> help_lines_;
+  bool help_requested_{false};
+};
+
+}  // namespace dlouvain::util

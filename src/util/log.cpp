@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace dlouvain::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("DLOUVAIN_LOG")) {
+    const std::string v = env;
+    if (v == "debug") return LogLevel::kDebug;
+    if (v == "info") return LogLevel::kInfo;
+    if (v == "warn") return LogLevel::kWarn;
+    if (v == "error") return LogLevel::kError;
+    if (v == "off") return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}()};
+
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[dlouvain " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace dlouvain::util

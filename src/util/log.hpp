@@ -1,0 +1,49 @@
+// Leveled, thread-safe logging.
+//
+// Distributed runs execute many rank-threads concurrently; each log line is
+// assembled in one shot and written under a mutex so interleaving never
+// splits a line. Level is process-global and settable via DLOUVAIN_LOG.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dlouvain::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold (default: read from env DLOUVAIN_LOG, else Warn).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit one line at `level` (no-op when below threshold).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LineBuilder log_debug() { return detail::LineBuilder(LogLevel::kDebug); }
+inline detail::LineBuilder log_info() { return detail::LineBuilder(LogLevel::kInfo); }
+inline detail::LineBuilder log_warn() { return detail::LineBuilder(LogLevel::kWarn); }
+inline detail::LineBuilder log_error() { return detail::LineBuilder(LogLevel::kError); }
+
+}  // namespace dlouvain::util

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// Two flavours:
+//  * Xoshiro256StarStar -- a fast sequential generator for the synthetic
+//    graph generators.
+//  * counter-based `hash_rand` helpers -- stateless, keyed draws used by the
+//    early-termination heuristic so that a vertex's coin flip at (phase,
+//    iteration) is identical regardless of which rank owns it or how many
+//    ranks participate. This keeps distributed runs reproducible at any
+//    process count (DESIGN.md decision #4).
+#pragma once
+
+#include <cstdint>
+
+namespace dlouvain::util {
+
+/// SplitMix64 step: the canonical seeding/stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot stateless mix of a 64-bit value.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Combine two keys into one (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Stateless keyed uniform draw in [0, 1).
+constexpr double hash_rand_unit(std::uint64_t key) noexcept {
+  // 53 high bits -> double mantissa.
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Keyed draw for a (seed, a, b, c) tuple; used as (seed, vertex, phase, iter).
+constexpr double hash_rand_unit(std::uint64_t seed, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t c) noexcept {
+  return hash_rand_unit(hash_combine(hash_combine(seed, a), hash_combine(b, c)));
+}
+
+/// xoshiro256** 1.0 -- public-domain algorithm by Blackman & Vigna.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed = 0x7b1dcdaf2c0aa3feULL) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_unit() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0). Uses Lemire's multiply-shift
+  /// reduction; bias is negligible for our bounds (< 2^48).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace dlouvain::util

@@ -1,0 +1,52 @@
+// Fundamental scalar types shared across the dlouvain libraries.
+//
+// All graph entities use 64-bit signed ids so that intermediate arithmetic
+// (prefix sums, differences, sentinel values) is safe without casting, and
+// so that graphs beyond 2^31 vertices/edges are representable -- matching
+// the billion-edge scale of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dlouvain {
+
+/// Global vertex identifier. Community identifiers live in the same id
+/// space (paper Section IV: "community IDs originate from vertex IDs").
+using VertexId = std::int64_t;
+
+/// Global edge (arc) identifier / edge count.
+using EdgeId = std::int64_t;
+
+/// Community identifier -- intentionally the same type as VertexId.
+using CommunityId = std::int64_t;
+
+/// Edge weight and all modularity arithmetic.
+using Weight = double;
+
+/// Process rank inside a communicator (mirrors MPI's `int` rank).
+using Rank = int;
+
+/// Sentinel for "no vertex" / "no community".
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr CommunityId kInvalidCommunity = -1;
+
+/// A single weighted, directed arc (u -> v). Undirected graphs store both
+/// directions.
+struct Edge {
+  VertexId src{kInvalidVertex};
+  VertexId dst{kInvalidVertex};
+  Weight weight{1.0};
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Half of an arc: destination + weight, used inside CSR adjacency.
+struct HalfEdge {
+  VertexId dst{kInvalidVertex};
+  Weight weight{1.0};
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
+};
+
+}  // namespace dlouvain

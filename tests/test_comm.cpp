@@ -1,0 +1,387 @@
+// Tests for the message-passing runtime: point-to-point semantics,
+// every collective, error propagation, and parameterized stress across
+// world sizes (including non-powers of two, which exercise the dissemination
+// barrier's wraparound).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "comm/comm.hpp"
+#include "comm/world.hpp"
+
+namespace dc = dlouvain::comm;
+using dlouvain::Rank;
+
+TEST(Comm, SingleRankWorldRunsInline) {
+  std::atomic<int> calls{0};
+  dc::run(1, [&](dc::Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Comm, SendRecvRoundTrip) {
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 7, std::vector<int>{1, 2, 3});
+      const auto back = comm.recv<int>(1, 8);
+      EXPECT_EQ(back, (std::vector<int>{4, 5}));
+    } else {
+      const auto data = comm.recv<int>(0, 7);
+      EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+      comm.send<int>(0, 8, std::vector<int>{4, 5});
+    }
+  });
+}
+
+TEST(Comm, EmptyMessagesAreDeliverable) {
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 1, std::vector<int>{});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 1).empty());
+    }
+  });
+}
+
+TEST(Comm, TagMatchingSelectsCorrectMessage) {
+  // Send tag-B first, then tag-A; receiver asks for A first. Matching must
+  // pick by tag, not arrival order.
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 20, 200);
+      comm.send_value<int>(1, 10, 100);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+    }
+  });
+}
+
+TEST(Comm, SameTagIsFifoPerPair) {
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send_value<int>(1, 3, i);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(Comm, SendToInvalidRankThrows) {
+  EXPECT_THROW(dc::run(2,
+                       [](dc::Comm& comm) {
+                         if (comm.rank() == 0) comm.send_value<int>(5, 0, 1);
+                         else comm.barrier();  // will unwind via WorldAborted
+                       }),
+               std::out_of_range);
+}
+
+TEST(Comm, ExceptionInOneRankPropagates) {
+  EXPECT_THROW(dc::run(4,
+                       [](dc::Comm& comm) {
+                         if (comm.rank() == 2) throw std::runtime_error("boom");
+                         // Other ranks block; they must be released, not hang.
+                         (void)comm.recv_bytes((comm.rank() + 1) % 4, 99);
+                       }),
+               std::runtime_error);
+}
+
+TEST(Comm, TrafficReportCountsMessages) {
+  const auto report = dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) comm.send<int>(1, 0, std::vector<int>{1, 2, 3, 4});
+    else (void)comm.recv<int>(0, 0);
+  });
+  EXPECT_EQ(report.messages, 1);
+  EXPECT_EQ(report.bytes, 16);
+}
+
+class CommCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectives, BarrierCompletes) {
+  const int p = GetParam();
+  std::atomic<int> arrived{0};
+  dc::run(p, [&](dc::Comm& comm) {
+    for (int round = 0; round < 5; ++round) comm.barrier();
+    ++arrived;
+  });
+  EXPECT_EQ(arrived.load(), p);
+}
+
+TEST_P(CommCollectives, BarrierIsASyncPoint) {
+  const int p = GetParam();
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  dc::run(p, [&](dc::Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != p) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CommCollectives, BroadcastDistributesRootBuffer) {
+  const int p = GetParam();
+  dc::run(p, [](dc::Comm& comm) {
+    std::vector<long> data;
+    if (comm.rank() == 0) data = {10, 20, 30};
+    const auto out = comm.broadcast(std::move(data), 0);
+    EXPECT_EQ(out, (std::vector<long>{10, 20, 30}));
+  });
+}
+
+TEST_P(CommCollectives, BroadcastFromNonZeroRoot) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  dc::run(p, [](dc::Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 1) data = {7};
+    EXPECT_EQ(comm.broadcast(std::move(data), 1), std::vector<int>{7});
+  });
+}
+
+TEST_P(CommCollectives, AllgatherOrdersByRank) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    const auto all = comm.allgather<int>(comm.rank() * 10);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[r], r * 10);
+  });
+}
+
+TEST_P(CommCollectives, AllgathervConcatenatesVariableLengths) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    // Rank r contributes r copies of r.
+    std::vector<int> mine(comm.rank(), comm.rank());
+    std::vector<std::size_t> counts;
+    const auto all = comm.allgatherv<int>(mine, &counts);
+    std::vector<int> expected;
+    for (int r = 0; r < p; ++r) expected.insert(expected.end(), r, r);
+    EXPECT_EQ(all, expected);
+    for (int r = 0; r < p; ++r) EXPECT_EQ(counts[r], static_cast<std::size_t>(r));
+  });
+}
+
+TEST_P(CommCollectives, GathervCollectsAtRootOnly) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    std::vector<int> mine{comm.rank(), comm.rank() + 100};
+    const auto all = comm.gatherv<int>(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(all[2 * r], r);
+        EXPECT_EQ(all[2 * r + 1], r + 100);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CommCollectives, AllreduceSumMatchesClosedForm) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    EXPECT_EQ(comm.allreduce_sum<long>(comm.rank() + 1), static_cast<long>(p) * (p + 1) / 2);
+  });
+}
+
+TEST_P(CommCollectives, AllreduceSumIsBitwiseIdenticalAcrossRanks) {
+  const int p = GetParam();
+  // Adversarial doubles: different magnitudes per rank. Every rank must get
+  // the exact same bits because folds run in rank order everywhere.
+  std::vector<double> results(p);
+  dc::run(p, [&](dc::Comm& comm) {
+    const double mine = 1.0 / (comm.rank() + 3.0) * 1e10;
+    results[comm.rank()] = comm.allreduce_sum(mine);
+  });
+  for (int r = 1; r < p; ++r) EXPECT_EQ(results[0], results[r]);
+}
+
+TEST_P(CommCollectives, AllreduceMinMax) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    EXPECT_EQ(comm.allreduce_max<int>(comm.rank()), p - 1);
+    EXPECT_EQ(comm.allreduce_min<int>(comm.rank()), 0);
+  });
+}
+
+TEST_P(CommCollectives, AllreduceLand) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    EXPECT_TRUE(comm.allreduce_land(true));
+    // Rank p-1 votes false, so the conjunction is always false.
+    EXPECT_FALSE(comm.allreduce_land(comm.rank() != p - 1));
+  });
+}
+
+TEST_P(CommCollectives, AllreduceSumVecIsElementwise) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    std::vector<long> mine{comm.rank(), 1, 2 * comm.rank()};
+    const auto out = comm.allreduce_sum_vec(mine);
+    const long ranksum = static_cast<long>(p) * (p - 1) / 2;
+    EXPECT_EQ(out, (std::vector<long>{ranksum, p, 2 * ranksum}));
+  });
+}
+
+TEST_P(CommCollectives, ExscanMatchesPrefixSums) {
+  const int p = GetParam();
+  dc::run(p, [](dc::Comm& comm) {
+    // Rank r contributes r+1; exscan result is sum 1..r.
+    const long r = comm.rank();
+    EXPECT_EQ(comm.exscan_sum<long>(r + 1), r * (r + 1) / 2);
+    EXPECT_EQ(comm.scan_sum<long>(r + 1), (r + 1) * (r + 2) / 2);
+  });
+}
+
+TEST_P(CommCollectives, AlltoallvRoutesPersonalizedBuffers) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    // Rank r sends {r*100+d} repeated (d+1) times to rank d.
+    std::vector<std::vector<int>> outbox(p);
+    for (int d = 0; d < p; ++d) outbox[d].assign(d + 1, comm.rank() * 100 + d);
+    const auto inbox = comm.alltoallv<int>(std::move(outbox));
+    ASSERT_EQ(inbox.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(inbox[s].size(), static_cast<std::size_t>(comm.rank() + 1));
+      for (int x : inbox[s]) EXPECT_EQ(x, s * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CommCollectives, AlltoallExchangesSingleElements) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    std::vector<int> out(p);
+    for (int d = 0; d < p; ++d) out[d] = comm.rank() * p + d;
+    const auto in = comm.alltoall(out);
+    for (int s = 0; s < p; ++s) EXPECT_EQ(in[s], s * p + comm.rank());
+  });
+}
+
+TEST_P(CommCollectives, BackToBackCollectivesDontCrossMatch) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      EXPECT_EQ(comm.allreduce_sum<int>(round), round * p);
+      const auto all = comm.allgather<int>(comm.rank() + round);
+      for (int r = 0; r < p; ++r) EXPECT_EQ(all[r], r + round);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CommCollectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Comm, ManyRanksStress) {
+  // 32 rank-threads doing mixed traffic; mostly a deadlock/interleaving test.
+  dc::run(32, [](dc::Comm& comm) {
+    const int p = comm.size();
+    const Rank next = (comm.rank() + 1) % p;
+    const Rank prev = (comm.rank() - 1 + p) % p;
+    for (int i = 0; i < 10; ++i) {
+      comm.send_value<int>(next, 5, comm.rank() * 1000 + i);
+      EXPECT_EQ(comm.recv_value<int>(prev, 5), prev * 1000 + i);
+      comm.barrier();
+    }
+  });
+}
+
+// ---- Sub-communicators, sendrecv, tree broadcast (added with comm v2) --------
+
+TEST(CommSplit, EvenOddGroupsWorkIndependently) {
+  dc::run(6, [](dc::Comm& comm) {
+    auto sub = comm.split(comm.rank() % 2);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives inside the split see only the group.
+    const auto sum = sub.allreduce_sum<int>(comm.rank());
+    const int expect = comm.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_EQ(sum, expect);
+  });
+}
+
+TEST(CommSplit, KeyControlsOrdering) {
+  dc::run(4, [](dc::Comm& comm) {
+    // Reverse the ranks via the key.
+    auto sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+    const auto gathered = sub.allgather<int>(comm.rank());
+    EXPECT_EQ(gathered, (std::vector<int>{3, 2, 1, 0}));
+  });
+}
+
+TEST(CommSplit, ParentAndChildTrafficDoNotMix) {
+  dc::run(4, [](dc::Comm& comm) {
+    auto sub = comm.split(comm.rank() % 2);
+    // Same (src, tag) posted on both communicators; each recv must get its
+    // own communicator's message.
+    if (comm.rank() == 0) {
+      comm.send_value<int>(2, 5, 111);        // world: 0 -> 2
+      sub.send_value<int>(1, 5, 222);         // evens: 0 -> (world 2)
+    }
+    if (comm.rank() == 2) {
+      EXPECT_EQ(sub.recv_value<int>(0, 5), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 5), 111);
+    }
+  });
+}
+
+TEST(CommSplit, NestedSplits) {
+  dc::run(8, [](dc::Comm& comm) {
+    auto half = comm.split(comm.rank() / 4);   // two groups of 4
+    auto quarter = half.split(half.rank() / 2);  // four groups of 2
+    EXPECT_EQ(quarter.size(), 2);
+    const auto sum = quarter.allreduce_sum<int>(1);
+    EXPECT_EQ(sum, 2);
+  });
+}
+
+TEST(CommSplit, SingletonGroups) {
+  dc::run(3, [](dc::Comm& comm) {
+    auto solo = comm.split(comm.rank());  // every rank its own color
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    EXPECT_EQ(solo.allreduce_sum<int>(41), 41);
+    solo.barrier();
+  });
+}
+
+TEST(Comm, SendrecvExchangesInOneCall) {
+  dc::run(4, [](dc::Comm& comm) {
+    const int p = comm.size();
+    const dlouvain::Rank right = (comm.rank() + 1) % p;
+    const dlouvain::Rank left = (comm.rank() - 1 + p) % p;
+    const auto got = comm.sendrecv<int>(right, left, 3, std::vector<int>{comm.rank()});
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], left);
+  });
+}
+
+class BroadcastTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastTree, EveryRootEveryWorldSize) {
+  const int p = GetParam();
+  dc::run(p, [p](dc::Comm& comm) {
+    for (dlouvain::Rank root = 0; root < p; ++root) {
+      std::vector<long> data;
+      if (comm.rank() == root) data = {root * 100L, root * 100L + 1};
+      const auto out = comm.broadcast(std::move(data), root);
+      EXPECT_EQ(out, (std::vector<long>{root * 100L, root * 100L + 1}));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, BroadcastTree, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Comm, TagOutsideRangeThrows) {
+  dc::run(1, [](dc::Comm& comm) {
+    EXPECT_THROW(comm.send_value<int>(0, 1 << 20, 1), std::out_of_range);
+  });
+}

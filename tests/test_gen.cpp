@@ -1,0 +1,254 @@
+// Tests for the synthetic graph generators: structural invariants (no self
+// loops, no duplicates, in-range endpoints), determinism, and the specific
+// shape properties each family promises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gen/lfr.hpp"
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "gen/ssca2.hpp"
+#include "gen/surrogate.hpp"
+#include "graph/csr.hpp"
+
+namespace dg = dlouvain::gen;
+using dlouvain::CommunityId;
+using dlouvain::Edge;
+using dlouvain::VertexId;
+
+namespace {
+
+/// Structural invariants every generator must satisfy.
+void expect_wellformed(const dg::GeneratedGraph& g) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, g.num_vertices);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, g.num_vertices);
+    EXPECT_NE(e.src, e.dst) << "self loop from generator";
+    const auto key = std::minmax(e.src, e.dst);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate edge " << e.src << "-" << e.dst;
+  }
+  if (!g.ground_truth.empty()) {
+    EXPECT_EQ(g.ground_truth.size(), static_cast<std::size_t>(g.num_vertices));
+  }
+}
+
+/// Fraction of edges whose endpoints share a ground-truth community.
+double intra_fraction(const dg::GeneratedGraph& g) {
+  if (g.edges.empty()) return 0;
+  std::size_t intra = 0;
+  for (const Edge& e : g.edges)
+    intra += g.ground_truth[static_cast<std::size_t>(e.src)] ==
+                     g.ground_truth[static_cast<std::size_t>(e.dst)]
+                 ? 1
+                 : 0;
+  return static_cast<double>(intra) / static_cast<double>(g.edges.size());
+}
+
+}  // namespace
+
+TEST(GenSimple, RingHasNVerticesAndNEdges) {
+  const auto g = dg::ring(10);
+  expect_wellformed(g);
+  EXPECT_EQ(g.num_vertices, 10);
+  EXPECT_EQ(g.num_edges(), 10);
+}
+
+TEST(GenSimple, RingRejectsTiny) { EXPECT_THROW(dg::ring(2), std::invalid_argument); }
+
+TEST(GenSimple, CliqueChainStructure) {
+  const auto g = dg::clique_chain(4, 5);
+  expect_wellformed(g);
+  EXPECT_EQ(g.num_vertices, 20);
+  // 4 cliques of C(5,2)=10 edges + 3 bridges.
+  EXPECT_EQ(g.num_edges(), 43);
+  // Ground truth: 4 communities of 5.
+  std::map<CommunityId, int> sizes;
+  for (const auto c : g.ground_truth) ++sizes[c];
+  EXPECT_EQ(sizes.size(), 4u);
+  for (const auto& [c, s] : sizes) EXPECT_EQ(s, 5);
+  // Almost all edges intra-community.
+  EXPECT_GT(intra_fraction(g), 0.9);
+}
+
+TEST(GenSimple, BandedDegreesAreBounded) {
+  const auto g = dg::banded(100, 4);
+  expect_wellformed(g);
+  const auto csr = dlouvain::graph::from_edges(g.num_vertices, g.edges);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_LE(csr.degree(v), 8);
+  // Interior vertices have exactly 2*band neighbours.
+  EXPECT_EQ(csr.degree(50), 8);
+}
+
+TEST(GenSimple, WattsStrogatzKeepsDegreeScale) {
+  const auto g = dg::watts_strogatz(500, 8, 0.1, 11);
+  expect_wellformed(g);
+  // ~n*k/2 edges (rewiring can only drop a few on conflicts).
+  EXPECT_GT(g.num_edges(), 500 * 8 / 2 * 0.95);
+  EXPECT_LE(g.num_edges(), 500 * 8 / 2);
+}
+
+TEST(GenSimple, WattsStrogatzBetaZeroIsLattice) {
+  const auto g = dg::watts_strogatz(100, 4, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 200);
+  const auto csr = dlouvain::graph::from_edges(g.num_vertices, g.edges);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(csr.degree(v), 4);
+}
+
+TEST(GenSimple, ErdosRenyiEdgeCountNearExpectation) {
+  const auto g = dg::erdos_renyi(400, 0.05, 3);
+  expect_wellformed(g);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(GenSimple, ErdosRenyiZeroProbabilityIsEmpty) {
+  EXPECT_EQ(dg::erdos_renyi(50, 0.0, 1).num_edges(), 0);
+}
+
+TEST(GenSimple, PlantedPartitionFavorsIntraEdges) {
+  const auto g = dg::planted_partition(200, 4, 0.3, 0.01, 5);
+  expect_wellformed(g);
+  EXPECT_GT(intra_fraction(g), 0.7);
+}
+
+TEST(GenSimple, GeneratorsAreDeterministic) {
+  const auto a = dg::watts_strogatz(200, 6, 0.2, 99);
+  const auto b = dg::watts_strogatz(200, 6, 0.2, 99);
+  EXPECT_EQ(a.edges, b.edges);
+  const auto c = dg::erdos_renyi(200, 0.03, 42);
+  const auto d = dg::erdos_renyi(200, 0.03, 42);
+  EXPECT_EQ(c.edges, d.edges);
+}
+
+TEST(GenRmat, ProducesSkewedDegrees) {
+  dg::RmatParams p;
+  p.scale = 10;
+  p.edges_per_vertex = 8;
+  const auto g = dg::rmat(p);
+  expect_wellformed(g);
+  const auto csr = dlouvain::graph::from_edges(g.num_vertices, g.edges);
+  VertexId max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices; ++v) max_deg = std::max(max_deg, VertexId{csr.degree(v)});
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(g.num_vertices);
+  // Power-law-ish: hub degree far above the average.
+  EXPECT_GT(static_cast<double>(max_deg), 5 * avg);
+}
+
+TEST(GenRmat, RejectsBadQuadrants) {
+  dg::RmatParams p;
+  p.a = 0.9;
+  p.b = 0.2;  // sums beyond 1
+  p.c = 0.2;
+  EXPECT_THROW(dg::rmat(p), std::invalid_argument);
+}
+
+TEST(GenSsca2, CliquesDominate) {
+  dg::Ssca2Params p;
+  p.num_vertices = 2000;
+  p.max_clique_size = 20;
+  p.inter_clique_prob = 0.01;
+  const auto g = dg::ssca2(p);
+  expect_wellformed(g);
+  EXPECT_GT(intra_fraction(g), 0.9);
+  // Clique sizes respect the cap.
+  std::map<CommunityId, VertexId> sizes;
+  for (const auto c : g.ground_truth) ++sizes[c];
+  for (const auto& [c, s] : sizes) EXPECT_LE(s, 20);
+}
+
+TEST(GenSsca2, GroundTruthCoversAllVertices) {
+  dg::Ssca2Params p;
+  p.num_vertices = 500;
+  const auto g = dg::ssca2(p);
+  EXPECT_EQ(g.ground_truth.size(), 500u);
+}
+
+TEST(GenLfr, MixingParameterControlsIntraFraction) {
+  for (const double mu : {0.1, 0.3, 0.5}) {
+    dg::LfrParams p;
+    p.num_vertices = 1000;
+    p.avg_degree = 16;
+    p.max_degree = 48;
+    p.mu = mu;
+    p.seed = 17;
+    const auto g = dg::lfr(p);
+    expect_wellformed(g);
+    // Realized intra fraction should track 1 - mu within a loose band
+    // (stub rejection shifts it slightly).
+    EXPECT_NEAR(intra_fraction(g), 1.0 - mu, 0.12) << "mu=" << mu;
+  }
+}
+
+TEST(GenLfr, CommunitySizesWithinBounds) {
+  dg::LfrParams p;
+  p.num_vertices = 2000;
+  p.min_community = 25;
+  p.max_community = 120;
+  const auto g = dg::lfr(p);
+  std::map<CommunityId, VertexId> sizes;
+  for (const auto c : g.ground_truth) ++sizes[c];
+  for (const auto& [c, s] : sizes) {
+    EXPECT_GE(s, 25);
+    EXPECT_LE(s, 120 + 25);  // final merge may exceed max by < min
+  }
+}
+
+TEST(GenLfr, AverageDegreeRoughlyMatches) {
+  dg::LfrParams p;
+  p.num_vertices = 2000;
+  p.avg_degree = 20;
+  p.max_degree = 60;
+  const auto g = dg::lfr(p);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(g.num_vertices);
+  EXPECT_NEAR(avg, 20.0, 5.0);
+}
+
+TEST(GenLfr, RejectsBadParameters) {
+  dg::LfrParams p;
+  p.mu = 1.5;
+  EXPECT_THROW(dg::lfr(p), std::invalid_argument);
+  p = {};
+  p.max_community = 5;
+  p.min_community = 10;
+  EXPECT_THROW(dg::lfr(p), std::invalid_argument);
+}
+
+TEST(GenSurrogate, AllCatalogEntriesGenerate) {
+  for (const auto& info : dg::table2_catalog()) {
+    const auto g = dg::surrogate(info.name, 0.25);
+    expect_wellformed(g);
+    EXPECT_EQ(g.name, info.name);
+    EXPECT_GT(g.num_edges(), 0);
+  }
+  for (const auto& info : dg::table1_catalog()) {
+    const auto g = dg::surrogate(info.name, 0.25);
+    expect_wellformed(g);
+  }
+}
+
+TEST(GenSurrogate, EdgeCountsAscendLikeTable2) {
+  // The paper lists Table II in ascending edge order; surrogates keep that
+  // order (allowing small noise between adjacent entries of similar size).
+  std::vector<dlouvain::EdgeId> counts;
+  for (const auto& info : dg::table2_catalog()) counts.push_back(dg::surrogate(info.name).num_edges());
+  int inversions = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i)
+    if (counts[i] < counts[i - 1]) ++inversions;
+  EXPECT_LE(inversions, 1) << "surrogate sizes badly out of order";
+}
+
+TEST(GenSurrogate, ScaleGrowsTheGraph) {
+  const auto small = dg::surrogate("channel", 0.5);
+  const auto large = dg::surrogate("channel", 2.0);
+  EXPECT_GT(large.num_vertices, 2 * small.num_vertices);
+}
+
+TEST(GenSurrogate, UnknownNameThrows) {
+  EXPECT_THROW(dg::surrogate("no-such-graph"), std::invalid_argument);
+}
