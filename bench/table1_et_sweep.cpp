@@ -21,14 +21,14 @@ int main(int argc, char** argv) {
 
   util::Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 4.0, "surrogate size multiplier");
-  const int threads = static_cast<int>(cli.get_int("threads", 8, "OpenMP threads"));
+  const int threads = static_cast<int>(cli.get_int("threads", 8, "compute threads"));
   const int repeats = static_cast<int>(cli.get_int("repeats", 3, "timing repeats (min taken)"));
   const auto cli_ranks = cli.get_int("ranks", 4, "ranks for the distributed V-C section");
   if (!cli.finish()) return 1;
 
   bench::banner("Table I: adaptive early termination, shared-memory implementation",
                 "8 cores of an Intel Xeon; CNR (325K vertices) and Channel (4.8M)",
-                "1-core host, " + std::to_string(threads) + " OpenMP threads, surrogate "
+                "1-core host, " + std::to_string(threads) + " compute threads, surrogate "
                 "graphs at scale " + util::TextTable::fmt(scale, 2));
 
   for (const auto& info : gen::table1_catalog()) {

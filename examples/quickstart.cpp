@@ -1,15 +1,15 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
 //   1. build a graph (here: 4 cliques chained together),
-//   2. run distributed Louvain on 4 in-process ranks,
+//   2. describe the run with a Plan (distributed, 4 in-process ranks),
 //   3. print the communities and the modularity.
 //
-//   $ ./quickstart [--ranks 4]
+//   $ ./quickstart [--ranks 4] [--threads 1]
 #include <iostream>
 #include <map>
 #include <vector>
 
-#include "core/dist_louvain.hpp"
+#include "dlouvain.hpp"
 #include "gen/simple.hpp"
 #include "graph/csr.hpp"
 #include "util/cli.hpp"
@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
 
   util::Cli cli(argc, argv);
   const int ranks = static_cast<int>(cli.get_int("ranks", 4, "in-process ranks"));
+  const int threads =
+      static_cast<int>(cli.get_int("threads", 1, "compute threads per rank"));
   if (!cli.finish()) return 1;
 
   // A graph with obvious structure: 4 cliques of 5 vertices, linked in a
@@ -28,9 +30,10 @@ int main(int argc, char** argv) {
   std::cout << "graph: " << graph.num_vertices() << " vertices, "
             << graph.num_arcs() / 2 << " edges\n";
 
-  // Run the distributed Louvain algorithm. Each in-process rank owns a slice
-  // of the graph exactly as MPI ranks would.
-  const auto result = core::dist_louvain_inprocess(ranks, graph);
+  // Describe the run with a Plan and execute it. Each in-process rank owns a
+  // slice of the graph exactly as MPI ranks would; `threads` sets the
+  // per-rank compute pool and never changes the result.
+  const auto result = Plan::distributed(ranks).threads(threads).run(graph);
 
   std::cout << "ranks:       " << ranks << '\n'
             << "communities: " << result.num_communities << '\n'

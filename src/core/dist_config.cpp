@@ -1,6 +1,7 @@
 #include "core/dist_config.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <numeric>
 #include <stdexcept>
@@ -22,6 +23,16 @@ std::string variant_label(Variant variant, double alpha) {
       return buf;
   }
   return "?";
+}
+
+std::optional<Variant> parse_variant(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "baseline") return Variant::kBaseline;
+  if (lower == "tc" || lower == "threshold-cycling") return Variant::kThresholdCycling;
+  if (lower == "et") return Variant::kEt;
+  if (lower == "etc") return Variant::kEtc;
+  return std::nullopt;
 }
 
 double DistConfig::threshold_for_phase(int phase) const {

@@ -2,7 +2,9 @@
 // variants (paper Section IV-B and the Section V evaluation legend).
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "louvain/config.hpp"
@@ -20,6 +22,13 @@ enum class Variant {
 /// Human-readable variant label as used in the paper's charts, e.g.
 /// "ET(0.25)" or "Threshold Cycling".
 std::string variant_label(Variant variant, double alpha);
+
+/// Inverse of variant_label for command lines: accepts the short tokens
+/// "baseline", "tc", "et", "etc" (case-insensitive; "threshold-cycling" is
+/// an alias for "tc"). Returns nullopt for anything else -- callers own the
+/// error message. Shared by the CLI, the bench harnesses, and the tests so
+/// variant spellings cannot drift apart.
+std::optional<Variant> parse_variant(std::string_view name);
 
 struct DistConfig {
   /// threshold / iteration bounds / ET alpha / seed live in the base config.
@@ -63,6 +72,12 @@ struct DistConfig {
   /// Section V-D quality-assessment mode: "extra collective operations per
   /// Louvain method phase"). Exposed via DistResult::phase_assignments.
   bool gather_quality{false};
+
+  /// Compute threads per rank for the local hot loops (move scan, modularity
+  /// reduction, rebuild) -- the OpenMP half of the paper's MPI+OpenMP hybrid.
+  /// Results are bitwise identical at any value (see util/parallel.hpp for
+  /// the determinism contract); <= 0 picks the hardware concurrency.
+  int threads_per_rank{1};
 
   // -- named constructors matching the paper's legend ---------------------
   static DistConfig baseline() { return {}; }

@@ -9,6 +9,7 @@
 #include "core/ghost_exchange.hpp"
 #include "core/rebuild.hpp"
 #include "louvain/early_term.hpp"
+#include "util/parallel.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -18,27 +19,41 @@ namespace {
 
 using louvain::EtState;
 
+/// Fixed number of bulk-synchronous micro-batches each sweep group is cut
+/// into. Independent of the thread count (that's the determinism contract);
+/// large enough that within-sweep propagation approaches the asynchronous
+/// serial sweep, small enough that the per-batch join overhead stays
+/// negligible. On groups smaller than this, batches degrade to single
+/// vertices and the sweep IS the serial asynchronous sweep.
+constexpr std::int64_t kSweepBatches = 64;
+
 /// Local share of the intra-community arc weight (both directions globally;
-/// each directed arc is counted once, by its source's owner).
-Weight local_intra_weight(const graph::DistGraph& g,
+/// each directed arc is counted once, by its source's owner). Threaded over
+/// the fixed-chunk deterministic reduction, so the value -- and therefore
+/// every modularity bit -- is identical at any thread count.
+Weight local_intra_weight(util::ThreadPool& pool, const graph::DistGraph& g,
                           std::span<const CommunityId> owned_community,
                           const GhostCommunities& ghosts) {
-  Weight intra = 0;
-  for (VertexId lv = 0; lv < g.local_count(); ++lv) {
-    const VertexId gv = g.to_global(lv);
-    const CommunityId cv = owned_community[static_cast<std::size_t>(lv)];
-    for (const auto& e : g.local().neighbors(lv)) {
-      if (e.dst == gv) {
-        intra += 2 * e.weight;  // self loop: A_vv = 2w, always intra
-        continue;
-      }
-      const CommunityId cu =
-          g.owns(e.dst) ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
-                        : ghosts.of(e.dst);
-      if (cu == cv) intra += e.weight;
-    }
-  }
-  return intra;
+  return util::parallel_reduce(
+      &pool, g.local_count(), [&](std::int64_t begin, std::int64_t end) {
+        Weight intra = 0;
+        for (VertexId lv = begin; lv < end; ++lv) {
+          const VertexId gv = g.to_global(lv);
+          const CommunityId cv = owned_community[static_cast<std::size_t>(lv)];
+          for (const auto& e : g.local().neighbors(lv)) {
+            if (e.dst == gv) {
+              intra += 2 * e.weight;  // self loop: A_vv = 2w, always intra
+              continue;
+            }
+            const CommunityId cu =
+                g.owns(e.dst)
+                    ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
+                    : ghosts.of(e.dst);
+            if (cu == cv) intra += e.weight;
+          }
+        }
+        return intra;
+      });
 }
 
 /// One Louvain phase on the current distributed graph. Returns the final
@@ -53,7 +68,7 @@ struct PhaseResult {
 
 PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
                       const DistConfig& cfg, int phase, double tau,
-                      PhaseTelemetry& telemetry) {
+                      util::ThreadPool& pool, PhaseTelemetry& telemetry) {
   const VertexId local_n = g.local_count();
   const VertexId global_n = g.global_n();
   const Weight two_m = g.total_weight();
@@ -74,19 +89,25 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   util::AccumTimer t_compute;
   util::AccumTimer t_delta;
   util::AccumTimer t_allreduce;
+  double compute_busy = 0;
 
   // Phase-initial modularity: singleton partition of the current graph --
   // by the coarsening invariance this equals the previous phase's final
   // modularity, so the convergence checks line up across phases.
   Weight prev_mod;
   {
-    const Weight intra = local_intra_weight(g, state.owned_community, state.ghosts);
+    const Weight intra =
+        local_intra_weight(pool, g, state.owned_community, state.ghosts);
     const Weight degree_term = state.ledger.owned_degree_term();
     const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
     prev_mod = two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
   }
 
-  std::unordered_map<CommunityId, Weight> nbr_weight;
+  // Per-vertex move proposals for the current sweep group:
+  // kInvalidCommunity = did not participate (ET-inactive), otherwise the
+  // proposed community (own id = participated but stays).
+  std::vector<CommunityId> proposed(static_cast<std::size_t>(local_n),
+                                    kInvalidCommunity);
   std::vector<CommunityId> needed;
 
   // Sweep groups. Without coloring there is ONE group holding every local
@@ -113,7 +134,10 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 
   // Seeded-random sweep order within each group, reshuffled per iteration
   // (see louvain/serial.cpp: index-order sweeps drain id-correlated graphs
-  // into one community). Keyed per rank so runs are reproducible at any p.
+  // into one community). Keyed per rank so runs are reproducible at any p --
+  // and crucially NOT keyed on the thread count: the shuffle fixes which
+  // vertex lands in which micro-batch below, so the threaded sweep visits
+  // the exact same sequence at --threads 1 and --threads N.
   util::Xoshiro256StarStar order_rng(
       util::hash_combine(cfg.base.seed, static_cast<std::uint64_t>(g.v_begin())) ^
       static_cast<std::uint64_t>(phase) * 0x9e3779b97f4a7c15ULL);
@@ -144,63 +168,109 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
       state.ledger.refresh(comm, needed);
     }
 
-    // (iii) local move computation (Alg. 3 l.6-9).
+    // (iii) local move computation (Alg. 3 l.6-9), threaded as a sequence of
+    // bulk-synchronous MICRO-BATCHES. The sweep is cut into kSweepBatches
+    // fixed slices (boundaries depend only on the group size, never on the
+    // thread count). Within a batch, decisions are computed in parallel
+    // against the batch-start state -- owned_community / ghosts / ledger are
+    // not mutated until every thread is done, so each vertex's proposal is
+    // independent of the scan's partitioning across threads. The batch is
+    // then applied serially in ascending vertex order before the next batch
+    // begins, so moves still propagate WITHIN a sweep (the asynchronous
+    // behaviour the Louvain local phase converges fast on) at 1/kSweepBatches
+    // granularity. Both halves are deterministic, which is what makes
+    // `--threads N` bitwise reproducible. Vertices inside one batch decide
+    // against slightly stale neighbour state -- the same staleness the
+    // algorithm already tolerates ACROSS ranks every iteration.
     {
       util::ScopedAccum scope(t_compute);
-      for (const VertexId lv : order) {
-        const auto lvi = static_cast<std::size_t>(lv);
-        const VertexId gv = g.to_global(lv);
+      pool.reset_busy();
+      const auto group_n = static_cast<std::int64_t>(order.size());
+      for (std::int64_t batch = 0; batch < kSweepBatches; ++batch) {
+        const auto [batch_begin, batch_end] =
+            util::fixed_chunk(group_n, batch, kSweepBatches);
+        if (batch_begin >= batch_end) continue;
 
-        if (cfg.uses_et() && !et.is_active(lvi, gv, phase, iter)) continue;
-        ++local_active;
+        util::parallel_for(&pool, batch_end - batch_begin,
+                           [&, batch_begin](int, std::int64_t begin,
+                                            std::int64_t end) {
+          std::unordered_map<CommunityId, Weight> nbr_weight;
+          for (std::int64_t i = begin; i < end; ++i) {
+            const VertexId lv =
+                order[static_cast<std::size_t>(batch_begin + i)];
+            const auto lvi = static_cast<std::size_t>(lv);
+            const VertexId gv = g.to_global(lv);
 
-        const CommunityId own = state.owned_community[lvi];
-        const Weight kv = g.weighted_degree(gv);
+            if (cfg.uses_et() && !et.is_active(lvi, gv, phase, iter)) {
+              proposed[lvi] = kInvalidCommunity;
+              continue;
+            }
 
-        nbr_weight.clear();
-        for (const auto& e : g.local().neighbors(lv)) {
-          if (e.dst == gv) continue;
-          const CommunityId cu =
-              g.owns(e.dst)
-                  ? state.owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
-                  : state.ghosts.of(e.dst);
-          nbr_weight[cu] += e.weight;
-        }
+            const CommunityId own = state.owned_community[lvi];
+            const Weight kv = g.weighted_degree(gv);
 
-        const auto own_it = nbr_weight.find(own);
-        const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
-        const Weight a_own_less_v = state.ledger.info(own).degree - kv;
+            nbr_weight.clear();
+            for (const auto& e : g.local().neighbors(lv)) {
+              if (e.dst == gv) continue;
+              const CommunityId cu =
+                  g.owns(e.dst)
+                      ? state.owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
+                      : state.ghosts.of(e.dst);
+              nbr_weight[cu] += e.weight;
+            }
 
-        CommunityId best = own;
-        Weight best_gain = 0;
-        for (const auto& [target, e_target] : nbr_weight) {
-          if (target == own) continue;
-          const Weight gain =
-              (e_target - e_own) / m -
-              gamma * kv * (state.ledger.info(target).degree - a_own_less_v) /
-                  (2 * m * m);
-          if (gain > best_gain ||
-              (gain == best_gain && gain > 0 && best != own && target < best)) {
-            best = target;
-            best_gain = gain;
+            const auto own_it = nbr_weight.find(own);
+            const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+            const Weight a_own_less_v = state.ledger.info(own).degree - kv;
+
+            CommunityId best = own;
+            Weight best_gain = 0;
+            for (const auto& [target, e_target] : nbr_weight) {
+              if (target == own) continue;
+              const Weight gain =
+                  (e_target - e_own) / m -
+                  gamma * kv * (state.ledger.info(target).degree - a_own_less_v) /
+                      (2 * m * m);
+              if (gain > best_gain ||
+                  (gain == best_gain && gain > 0 && best != own && target < best)) {
+                best = target;
+                best_gain = gain;
+              }
+            }
+
+            // Singleton-swap guard (same rationale as the shared-memory
+            // comparator): concurrent decisions working from the same
+            // snapshot would otherwise swap two singleton vertices back and
+            // forth forever.
+            if (best != own && state.ledger.info(own).size == 1 &&
+                state.ledger.info(best).size == 1 && best > own) {
+              best = own;
+            }
+
+            proposed[lvi] = best;
           }
-        }
+        });
 
-        // Singleton-swap guard (same rationale as the shared-memory
-        // comparator): concurrent ranks working from stale state would
-        // otherwise swap two singleton vertices back and forth forever.
-        if (best != own && state.ledger.info(own).size == 1 &&
-            state.ledger.info(best).size == 1 && best > own) {
-          best = own;
-        }
-
-        if (best != own) {
-          state.ledger.apply_move(own, best, kv);
+        // Apply the batch serially in sweep (slot) order. The assignment
+        // outcome is order-independent (each vertex lands on its own
+        // proposal); the fixed order pins the floating-point accumulation
+        // sequence in the ledger so a_c stays bitwise identical across
+        // thread counts.
+        for (std::int64_t i = batch_begin; i < batch_end; ++i) {
+          const VertexId lv = order[static_cast<std::size_t>(i)];
+          const auto lvi = static_cast<std::size_t>(lv);
+          const CommunityId best = proposed[lvi];
+          if (best == kInvalidCommunity) continue;
+          ++local_active;
+          const CommunityId own = state.owned_community[lvi];
+          if (best == own) continue;
+          state.ledger.apply_move(own, best, g.weighted_degree(g.to_global(lv)));
           state.owned_community[lvi] = best;
           moved[lvi] = 1;
           ++local_moved;
         }
       }
+      compute_busy += pool.busy_seconds();
     }
 
     // (iv) ship community deltas to their owners (Alg. 3 l.10-11).
@@ -215,7 +285,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     std::int64_t global_moved;
     {
       util::ScopedAccum scope(t_allreduce);
-      const Weight intra = local_intra_weight(g, state.owned_community, state.ghosts);
+      const Weight intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
       const Weight degree_term = state.ledger.owned_degree_term();
       const auto sums = comm.allreduce_sum_vec<Weight>(
           {intra, degree_term, static_cast<Weight>(local_moved),
@@ -270,7 +340,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   }
   {
     util::ScopedAccum scope(t_allreduce);
-    const Weight intra = local_intra_weight(g, state.owned_community, state.ghosts);
+    const Weight intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
     const Weight degree_term = state.ledger.owned_degree_term();
     const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
     state.final_modularity =
@@ -278,6 +348,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   }
 
   telemetry.phase = phase;
+  telemetry.threads = pool.num_threads();
   telemetry.graph_vertices = global_n;
   telemetry.graph_arcs = g.global_arcs();
   telemetry.threshold_used = tau;
@@ -285,6 +356,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   telemetry.breakdown.ghost_exchange = t_ghost.seconds();
   telemetry.breakdown.community_info = t_cinfo.seconds();
   telemetry.breakdown.compute = t_compute.seconds();
+  telemetry.breakdown.compute_busy = compute_busy;
   telemetry.breakdown.delta_exchange = t_delta.seconds();
   telemetry.breakdown.allreduce = t_allreduce.seconds();
   return state;
@@ -296,6 +368,10 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   util::WallTimer total_timer;
   const std::int64_t messages_before = comm.world().messages_sent.load();
   const std::int64_t bytes_before = comm.world().bytes_sent.load();
+
+  // The rank's compute pool, shared by every phase's move scan, modularity
+  // reduction, and rebuild (the per-rank half of the MPI+OpenMP hybrid).
+  util::ThreadPool pool(cfg.threads_per_rank);
 
   DistResult result;
 
@@ -332,13 +408,13 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
 
     util::WallTimer phase_timer;
     PhaseTelemetry telemetry;
-    auto phase_state = run_phase(comm, graph, cfg, phase, tau, telemetry);
+    auto phase_state = run_phase(comm, graph, cfg, phase, tau, pool, telemetry);
 
     // Graph reconstruction + assignment-chain update. Always performed so
     // the final phase's moves are reflected in the output mapping.
     util::WallTimer rebuild_timer;
     auto next = rebuild(comm, graph, phase_state.owned_community, phase_state.ghosts,
-                        phase_state.ledger);
+                        phase_state.ledger, &pool);
 
     // Route each original vertex's current id to the rank owning it in the
     // CURRENT partition; owners answer with the collapsed meta-vertex id.

@@ -18,7 +18,8 @@ struct ResolveRecord {
 
 RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
                       std::span<const CommunityId> owned_community,
-                      const GhostCommunities& ghosts, const CommunityLedger& ledger) {
+                      const GhostCommunities& ghosts, const CommunityLedger& ledger,
+                      util::ThreadPool* pool) {
   const int p = comm.size();
 
   // Steps 1-2: surviving local communities, renumbered 0..n_i-1 in ascending
@@ -78,23 +79,32 @@ RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
   // is emitted at half weight toward the meta self loop -- both directions
   // exist somewhere in the distributed graph, so the halves sum back to the
   // full pair weight -- while an existing self loop keeps face value.
-  std::vector<Edge> arcs;
-  arcs.reserve(static_cast<std::size_t>(g.local().num_arcs()));
-  for (VertexId lv = 0; lv < g.local_count(); ++lv) {
-    const VertexId gv = g.to_global(lv);
-    const VertexId nsrc = resolve_or_throw(owned_community[static_cast<std::size_t>(lv)]);
-    for (const auto& e : g.local().neighbors(lv)) {
-      const CommunityId cu =
-          g.owns(e.dst) ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
-                        : ghosts.of(e.dst);
-      const VertexId ndst = resolve_or_throw(cu);
-      if (nsrc == ndst) {
-        arcs.push_back({nsrc, ndst, e.dst == gv ? e.weight : e.weight / 2});
-      } else {
-        arcs.push_back({nsrc, ndst, e.weight});
+  //
+  // O(arcs) pass #1, threaded: vertex lv's arcs land at its CSR offset, so
+  // every thread writes a disjoint slice and the emitted array is identical
+  // to a serial walk. The resolve map is read-only here.
+  std::vector<Edge> arcs(static_cast<std::size_t>(g.local().num_arcs()));
+  const auto& row_offsets = g.local().offsets();
+  util::parallel_for(pool, g.local_count(), [&](int, std::int64_t begin,
+                                                std::int64_t end) {
+    for (VertexId lv = begin; lv < end; ++lv) {
+      const VertexId gv = g.to_global(lv);
+      const VertexId nsrc =
+          resolve_or_throw(owned_community[static_cast<std::size_t>(lv)]);
+      auto pos = static_cast<std::size_t>(row_offsets[static_cast<std::size_t>(lv)]);
+      for (const auto& e : g.local().neighbors(lv)) {
+        const CommunityId cu =
+            g.owns(e.dst) ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
+                          : ghosts.of(e.dst);
+        const VertexId ndst = resolve_or_throw(cu);
+        if (nsrc == ndst) {
+          arcs[pos++] = {nsrc, ndst, e.dst == gv ? e.weight : e.weight / 2};
+        } else {
+          arcs[pos++] = {nsrc, ndst, e.weight};
+        }
       }
     }
-  }
+  });
 
   // Steps 6-7: redistribute under an even-vertex partition of the meta graph
   // and rebuild CSR + ghost structure (DistGraph::build routes by arc source
@@ -103,7 +113,8 @@ RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
   RebuildOutput out;
   out.new_global_n = new_global_n;
   auto part = graph::partition_even_vertices(new_global_n, p);
-  out.graph = graph::DistGraph::build(comm, part, std::move(arcs), /*symmetrize=*/false);
+  out.graph = graph::DistGraph::build(comm, part, std::move(arcs), /*symmetrize=*/false,
+                                      pool);
 
   out.new_vertex_of_current.resize(static_cast<std::size_t>(g.local_count()));
   for (VertexId lv = 0; lv < g.local_count(); ++lv)

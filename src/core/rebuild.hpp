@@ -11,6 +11,7 @@
 #include "core/community_state.hpp"
 #include "core/ghost_exchange.hpp"
 #include "graph/dist_graph.hpp"
+#include "util/parallel.hpp"
 
 namespace dlouvain::core {
 
@@ -28,8 +29,16 @@ struct RebuildOutput {
 /// vertex; `ghosts` must reflect a completed exchange of those finals (the
 /// driver re-pushes after the last iteration); `ledger` carries the
 /// authoritative sizes used to detect surviving communities.
+///
+/// `pool` (optional) threads the two O(arcs) passes -- the resolved
+/// edge-list emission here and the CSR sort/assembly inside
+/// DistGraph::build -- without changing the output: arcs are written at
+/// precomputed CSR offsets and the sort is deterministic-stable (see
+/// util/parallel.hpp), so the rebuilt graph is identical at any thread
+/// count.
 RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
                       std::span<const CommunityId> owned_community,
-                      const GhostCommunities& ghosts, const CommunityLedger& ledger);
+                      const GhostCommunities& ghosts, const CommunityLedger& ledger,
+                      util::ThreadPool* pool = nullptr);
 
 }  // namespace dlouvain::core

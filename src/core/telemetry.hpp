@@ -31,6 +31,12 @@ struct TimeBreakdown {
   double allreduce{0};
   double rebuild{0};
 
+  /// Summed per-thread seconds the rank's compute pool spent inside the
+  /// local-move scan. Equals `compute` on one thread; `compute_busy /
+  /// compute` is the scan's effective parallelism. NOT part of total():
+  /// these seconds overlap the `compute` wall time.
+  double compute_busy{0};
+
   [[nodiscard]] double total() const {
     return ghost_exchange + community_info + compute + delta_exchange + allreduce +
            rebuild;
@@ -43,6 +49,7 @@ struct TimeBreakdown {
     delta_exchange += other.delta_exchange;
     allreduce += other.allreduce;
     rebuild += other.rebuild;
+    compute_busy += other.compute_busy;
     return *this;
   }
 };
@@ -50,6 +57,7 @@ struct TimeBreakdown {
 struct PhaseTelemetry {
   int phase{0};
   int iterations{0};
+  int threads{1};  ///< compute threads per rank during this phase
   VertexId graph_vertices{0};  ///< size of this phase's (coarsened) graph
   EdgeId graph_arcs{0};
   Weight modularity_after{0};

@@ -1,0 +1,74 @@
+#include "dlouvain.hpp"
+
+#include "louvain/serial.hpp"
+#include "louvain/shared.hpp"
+
+namespace dlouvain {
+
+louvain::LouvainConfig Plan::base_config() const {
+  louvain::LouvainConfig cfg;
+  cfg.threshold = threshold_;
+  cfg.max_phases = max_phases_;
+  cfg.max_iterations_per_phase = max_iterations_;
+  cfg.resolution = resolution_;
+  cfg.early_termination = variant_ == Variant::kEt || variant_ == Variant::kEtc;
+  cfg.et_alpha = alpha_;
+  cfg.vertex_following = vertex_following_;
+  cfg.seed = seed_;
+  return cfg;
+}
+
+core::DistConfig Plan::dist_config() const {
+  core::DistConfig cfg;
+  cfg.base = base_config();
+  cfg.base.vertex_following = false;  // a serial/shared-only preprocessing
+  cfg.variant = variant_;
+  cfg.add_threshold_cycling = cycling_;
+  cfg.use_coloring = coloring_;
+  cfg.record_iterations = record_iterations_;
+  cfg.threads_per_rank = threads_;
+  return cfg;
+}
+
+Result Plan::run(const graph::Csr& g) const {
+  Result out;
+  out.engine = engine_;
+  switch (engine_) {
+    case Engine::kSerial: {
+      auto r = louvain::louvain_serial(g, base_config());
+      out.community = r.community;
+      out.modularity = r.modularity;
+      out.num_communities = r.num_communities;
+      out.phases = r.phases;
+      out.total_iterations = r.total_iterations;
+      out.seconds = r.seconds;
+      out.local = std::move(r);
+      break;
+    }
+    case Engine::kShared: {
+      auto r = louvain::louvain_shared(g, base_config(), threads_);
+      out.community = r.community;
+      out.modularity = r.modularity;
+      out.num_communities = r.num_communities;
+      out.phases = r.phases;
+      out.total_iterations = r.total_iterations;
+      out.seconds = r.seconds;
+      out.local = std::move(r);
+      break;
+    }
+    case Engine::kDistributed: {
+      auto r = core::dist_louvain_inprocess(ranks_, g, dist_config(), partition_);
+      out.community = r.community;
+      out.modularity = r.modularity;
+      out.num_communities = r.num_communities;
+      out.phases = r.phases;
+      out.total_iterations = r.total_iterations;
+      out.seconds = r.seconds;
+      out.distributed = std::move(r);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dlouvain

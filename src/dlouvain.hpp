@@ -1,0 +1,164 @@
+// dlouvain -- the library's single public front door.
+//
+// A `Plan` names an engine (serial, shared-memory threaded, or distributed)
+// and carries every tunable as a fluent builder; `run()` dispatches to the
+// right implementation and normalizes the outcome into one `Result` shape,
+// so callers pick an engine the way they pick a parameter instead of
+// learning three APIs:
+//
+//   #include "dlouvain.hpp"
+//
+//   auto result = dlouvain::Plan::distributed()
+//                     .ranks(8)
+//                     .threads(4)                       // per-rank pool
+//                     .variant(dlouvain::Variant::kEtc)
+//                     .alpha(0.25)
+//                     .run(graph);
+//   std::cout << result.modularity << '\n';
+//
+// The per-engine headers (louvain/serial.hpp, louvain/shared.hpp,
+// core/dist_louvain.hpp) stay public and unchanged for callers that want
+// the raw configs or the collective, real-Comm entry points; Plan is sugar
+// over them, not a replacement. Engine-specific details (per-phase
+// telemetry, traffic counters) remain available on Result::distributed /
+// Result::local.
+//
+// Every engine honours the determinism contract: for a fixed Plan (minus
+// `threads`), the assignment and every modularity bit are identical at any
+// thread count. The distributed engine's results also depend on `ranks` --
+// but not on how its per-rank work is threaded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dist_config.hpp"
+#include "core/dist_louvain.hpp"
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+#include "louvain/config.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain {
+
+/// Heuristic variants (paper Section V legend), re-exported so Plan users
+/// never open the core namespace.
+using core::Variant;
+
+/// Which implementation a Plan dispatches to.
+enum class Engine {
+  kSerial,       ///< single-threaded reference (louvain/serial.hpp)
+  kShared,       ///< pool-threaded comparator (louvain/shared.hpp)
+  kDistributed,  ///< in-process-ranks distributed algorithm (core/)
+};
+
+/// Engine-agnostic outcome of a Plan::run.
+struct Result {
+  /// Final community id per original vertex, compacted to
+  /// [0, num_communities).
+  std::vector<CommunityId> community;
+  Weight modularity{0};
+  CommunityId num_communities{0};
+  int phases{0};
+  long total_iterations{0};
+  double seconds{0};
+  Engine engine{Engine::kSerial};
+
+  /// Full distributed result (telemetry, traffic counters, per-phase
+  /// assignments) when engine == kDistributed.
+  std::optional<core::DistResult> distributed;
+  /// Full serial/shared result (per-phase stats) otherwise.
+  std::optional<louvain::LouvainResult> local;
+};
+
+/// Fluent description of one community-detection run. Start from a named
+/// engine constructor, chain setters, end with run(); plans are plain values
+/// and can be stored, copied and reused.
+class Plan {
+ public:
+  /// Single-threaded reference implementation.
+  static Plan serial() { return Plan(Engine::kSerial); }
+
+  /// Shared-memory threaded comparator; `threads` <= 0 = hardware
+  /// concurrency.
+  static Plan shared(int threads = 0) {
+    Plan p(Engine::kShared);
+    p.threads_ = threads;
+    return p;
+  }
+
+  /// The paper's distributed algorithm over `ranks` in-process ranks.
+  static Plan distributed(int ranks = 4) {
+    Plan p(Engine::kDistributed);
+    p.ranks_ = ranks;
+    return p;
+  }
+
+  // -- engine shape -------------------------------------------------------
+  /// In-process ranks (distributed engine only).
+  Plan& ranks(int n) { ranks_ = n; return *this; }
+  /// Compute threads: the whole pool (shared engine) or per rank
+  /// (distributed engine). <= 0 = hardware concurrency; ignored by the
+  /// serial engine. Never changes results (see util/parallel.hpp).
+  Plan& threads(int n) { threads_ = n; return *this; }
+  /// Initial partition of the input across ranks (distributed engine).
+  Plan& partition(graph::PartitionKind kind) { partition_ = kind; return *this; }
+
+  // -- algorithm ----------------------------------------------------------
+  /// Heuristic variant (paper Section V). kEt/kEtc switch early termination
+  /// on; pair with alpha().
+  Plan& variant(Variant v) { variant_ = v; return *this; }
+  /// ET aggressiveness (paper alpha; only meaningful with kEt/kEtc).
+  Plan& alpha(double a) { alpha_ = a; return *this; }
+  /// Modularity-gain convergence threshold tau.
+  Plan& threshold(double tau) { threshold_ = tau; return *this; }
+  /// Resolution parameter gamma (1 = classical modularity).
+  Plan& resolution(double gamma) { resolution_ = gamma; return *this; }
+  Plan& seed(std::uint64_t s) { seed_ = s; return *this; }
+  Plan& max_phases(int n) { max_phases_ = n; return *this; }
+  Plan& max_iterations(int n) { max_iterations_ = n; return *this; }
+  /// Add the Fig. 2 threshold-cycling schedule on top of the variant (the
+  /// paper's Table VI combination); implied by kThresholdCycling itself.
+  Plan& threshold_cycling(bool on = true) { cycling_ = on; return *this; }
+  /// Colour-constrained sweeps (distributed engine, paper Section VI).
+  Plan& coloring(bool on = true) { coloring_ = on; return *this; }
+  /// Vertex-following preprocessing (serial/shared engines).
+  Plan& vertex_following(bool on = true) { vertex_following_ = on; return *this; }
+  /// Record per-iteration telemetry (distributed engine, Figs. 5-6 series).
+  Plan& record_iterations(bool on = true) { record_iterations_ = on; return *this; }
+
+  // -- materialized configs (for callers dropping to the raw APIs) --------
+  [[nodiscard]] Engine engine() const { return engine_; }
+  [[nodiscard]] int num_ranks() const { return ranks_; }
+  [[nodiscard]] int num_threads() const { return threads_; }
+  /// The LouvainConfig this plan describes (serial/shared engines; also the
+  /// `base` of dist_config()).
+  [[nodiscard]] louvain::LouvainConfig base_config() const;
+  /// The DistConfig this plan describes (distributed engine).
+  [[nodiscard]] core::DistConfig dist_config() const;
+
+  /// Execute the plan on `g` (an undirected graph as a symmetric CSR).
+  [[nodiscard]] Result run(const graph::Csr& g) const;
+
+ private:
+  explicit Plan(Engine engine) : engine_(engine) {}
+
+  Engine engine_;
+  int ranks_{4};
+  int threads_{1};
+  graph::PartitionKind partition_{graph::PartitionKind::kEvenEdges};
+  Variant variant_{Variant::kBaseline};
+  double alpha_{0.25};
+  double threshold_{1e-6};
+  double resolution_{1.0};
+  std::uint64_t seed_{7777};
+  int max_phases_{64};
+  int max_iterations_{512};
+  bool cycling_{false};
+  bool coloring_{false};
+  bool vertex_following_{false};
+  bool record_iterations_{true};
+};
+
+}  // namespace dlouvain

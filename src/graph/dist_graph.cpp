@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace dlouvain::graph {
 
 DistGraph DistGraph::build(comm::Comm& comm, const Partition1D& part,
-                           std::vector<Edge> edges, bool symmetrize) {
+                           std::vector<Edge> edges, bool symmetrize,
+                           util::ThreadPool* pool) {
   if (part.num_ranks() != comm.size())
     throw std::invalid_argument("DistGraph::build: partition rank count != comm size");
 
@@ -54,7 +57,11 @@ DistGraph DistGraph::build(comm::Comm& comm, const Partition1D& part,
   // CSR is built over max(local_count, n)... build_csr validates endpoints
   // against one range; handle by building manually instead.
   const VertexId local_n = part.count(comm.rank());
-  std::sort(local_arcs.begin(), local_arcs.end(), [](const Edge& a, const Edge& b) {
+  // Stable sort so duplicate (src, dst) arcs coalesce their weights in
+  // arrival order -- with the parallel path this is what keeps the rebuilt
+  // graph (and every downstream modularity bit) independent of the thread
+  // count; see util::stable_sort_parallel.
+  util::stable_sort_parallel(pool, local_arcs, [](const Edge& a, const Edge& b) {
     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
   });
   // Coalesce duplicates (parallel edges merge weights).
@@ -72,19 +79,27 @@ DistGraph DistGraph::build(comm::Comm& comm, const Partition1D& part,
   std::vector<EdgeId> offsets(static_cast<std::size_t>(local_n) + 1, 0);
   for (const Edge& e : local_arcs) ++offsets[static_cast<std::size_t>(e.src) + 1];
   for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
-  std::vector<HalfEdge> half;
-  half.reserve(local_arcs.size());
-  for (const Edge& e : local_arcs) half.push_back(HalfEdge{e.dst, e.weight});
+  std::vector<HalfEdge> half(local_arcs.size());
+  util::parallel_for(pool, static_cast<std::int64_t>(local_arcs.size()),
+                     [&](int, std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         half[static_cast<std::size_t>(i)] =
+                             HalfEdge{local_arcs[static_cast<std::size_t>(i)].dst,
+                                      local_arcs[static_cast<std::size_t>(i)].weight};
+                     });
   g.local_ = Csr(local_n, std::move(offsets), std::move(half));
 
   // Weighted degrees (global-id self loops detected against the global id).
   g.degrees_.resize(static_cast<std::size_t>(local_n), 0.0);
-  for (VertexId lv = 0; lv < local_n; ++lv) {
-    const VertexId gv = lv + lo;
-    Weight k = 0;
-    for (const auto& e : g.local_.neighbors(lv)) k += e.dst == gv ? 2 * e.weight : e.weight;
-    g.degrees_[static_cast<std::size_t>(lv)] = k;
-  }
+  util::parallel_for(pool, local_n, [&](int, std::int64_t begin, std::int64_t end) {
+    for (VertexId lv = begin; lv < end; ++lv) {
+      const VertexId gv = lv + lo;
+      Weight k = 0;
+      for (const auto& e : g.local_.neighbors(lv))
+        k += e.dst == gv ? 2 * e.weight : e.weight;
+      g.degrees_[static_cast<std::size_t>(lv)] = k;
+    }
+  });
 
   Weight local_weight = 0;
   for (const Weight k : g.degrees_) local_weight += k;

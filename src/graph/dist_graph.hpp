@@ -14,6 +14,7 @@
 #include "comm/comm.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
+#include "util/parallel.hpp"
 
 namespace dlouvain::graph {
 
@@ -88,8 +89,11 @@ class DistGraph {
   /// -- e.g. straight out of a generator or a file slice -- and the
   /// constructor routes each arc to the owner of its source. Collective:
   /// all ranks of `comm` must call with the same global_n and partition.
+  /// `pool` (optional) threads the local CSR assembly (sort + fills); the
+  /// resulting graph is identical at any thread count.
   static DistGraph build(comm::Comm& comm, const Partition1D& part,
-                         std::vector<Edge> edges, bool symmetrize = true);
+                         std::vector<Edge> edges, bool symmetrize = true,
+                         util::ThreadPool* pool = nullptr);
 
   /// Convenience for tests and small runs: every rank holds the same global
   /// CSR; each slices out its own rows. Collective.

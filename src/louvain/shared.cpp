@@ -3,14 +3,11 @@
 #include <numeric>
 #include <unordered_map>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include "louvain/coarsen.hpp"
 #include "louvain/early_term.hpp"
 #include "louvain/modularity.hpp"
 #include "louvain/vertex_follow.hpp"
+#include "util/parallel.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -18,24 +15,36 @@ namespace dlouvain::louvain {
 
 namespace {
 
+/// Fixed number of bulk-synchronous micro-batches each sweep is cut into.
+/// Independent of the thread count -- batch boundaries depend only on n --
+/// which is what makes the threaded sweep bitwise identical to the
+/// single-threaded one. Large enough that within-sweep propagation
+/// approaches the asynchronous serial sweep; on graphs smaller than this,
+/// batches degrade to single vertices and the sweep IS the serial sweep.
+constexpr std::int64_t kSweepBatches = 64;
+
 struct PhaseOutput {
   std::vector<CommunityId> community;
   std::int64_t inactive{0};
 };
 
-// One phase of Grappolo-style parallel Louvain: vertices are swept in
-// parallel with ASYNCHRONOUS in-place community updates (a mover's new
-// community is visible to every vertex processed after it), which is what
-// lets boundary adjustments propagate within a sweep instead of one step per
-// iteration. Community aggregates (a_c, |c|) and the global modularity are
-// maintained incrementally under a short critical section per accepted move,
-// so the per-iteration cost is proportional to the ACTIVE vertex set -- the
+// One phase of pool-threaded Louvain, structured as a sequence of
+// bulk-synchronous micro-batches (the same scheme as core/dist_louvain's
+// within-rank sweep). The shuffled sweep order is cut into kSweepBatches
+// fixed slices; within a batch every vertex's move DECISION is computed in
+// parallel against the batch-start community state, then the batch is
+// APPLIED serially in sweep order -- community aggregates (a_c, |c|), the
+// incremental modularity trackers and the ET probabilities all update in a
+// fixed sequence. Decisions read only snapshot state and apply order is
+// pinned, so the phase's outcome (assignments AND every floating-point bit)
+// is identical at any thread count -- unlike classic Grappolo's benignly
+// racy asynchronous sweep, which this comparator previously imitated.
+// Moves still propagate within a sweep at 1/kSweepBatches granularity, so
+// convergence behaviour stays close to the asynchronous original. The
+// per-iteration cost remains proportional to the ACTIVE vertex set -- the
 // property the early-termination heuristic's Table I economics rely on.
-// With more than one thread the sweep is racy in the benign Grappolo sense
-// (a reader may see a neighbour's pre- or post-move community); the exact
-// modularity is recomputed once at phase end.
 PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
-                      PhaseStats& stats) {
+                      util::ThreadPool& pool, PhaseStats& stats) {
   const VertexId n = g.num_vertices();
   const Weight two_m = g.total_arc_weight();
   const Weight m = two_m / 2;
@@ -70,85 +79,113 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
   // Seeded-random sweep order, reshuffled per iteration: index-order sweeps
   // let the first-formed community drain every later vertex on graphs with
   // id-correlated locality (see louvain/serial.cpp for the full rationale).
+  // The shuffle also fixes which vertex lands in which micro-batch, and its
+  // seed never involves the thread count.
   std::vector<VertexId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), VertexId{0});
   util::Xoshiro256StarStar order_rng(cfg.seed ^ 0x9d2c5680aa3b1e4fULL);
+
+  // Per-vertex move proposals for the current sweep: kInvalidCommunity =
+  // did not participate (ET-inactive), own id = participated but stays.
+  // delta_e[v] carries (best_e - e_own) from the decision scan to the
+  // serial apply, for the incremental intra tracker.
+  std::vector<CommunityId> proposed(static_cast<std::size_t>(n), kInvalidCommunity);
+  std::vector<Weight> delta_e(static_cast<std::size_t>(n), 0);
 
   for (int iter = 0; iter < cfg.max_iterations_per_phase; ++iter) {
     std::int64_t moved_count = 0;
     for (std::size_t i = order.size(); i > 1; --i)
       std::swap(order[i - 1], order[order_rng.next_below(i)]);
 
-#ifdef _OPENMP
-#pragma omp parallel reduction(+ : moved_count)
-#endif
-    {
-      std::unordered_map<CommunityId, Weight> nbr_weight;
-#ifdef _OPENMP
-#pragma omp for schedule(dynamic, 256)
-#endif
-      for (VertexId slot = 0; slot < n; ++slot) {
-        const VertexId v = order[static_cast<std::size_t>(slot)];
+    for (std::int64_t batch = 0; batch < kSweepBatches; ++batch) {
+      const auto [batch_begin, batch_end] =
+          util::fixed_chunk(static_cast<std::int64_t>(n), batch, kSweepBatches);
+      if (batch_begin >= batch_end) continue;
+
+      // Parallel decision scan against the batch-start state. curr / a /
+      // size / et probabilities are read-only until every thread is done, so
+      // the scan's partitioning across threads cannot change any proposal.
+      util::parallel_for(&pool, batch_end - batch_begin,
+                         [&, batch_begin](int, std::int64_t begin,
+                                          std::int64_t end) {
+        std::unordered_map<CommunityId, Weight> nbr_weight;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const VertexId v = order[static_cast<std::size_t>(batch_begin + i)];
+          const auto vi = static_cast<std::size_t>(v);
+          if (cfg.early_termination && !et.is_active(vi, v, phase, iter)) {
+            proposed[vi] = kInvalidCommunity;
+            continue;
+          }
+
+          const CommunityId own = curr[vi];
+          const Weight kv = k[vi];
+
+          nbr_weight.clear();
+          for (const auto& e : g.neighbors(v)) {
+            if (e.dst == v) continue;
+            nbr_weight[curr[static_cast<std::size_t>(e.dst)]] += e.weight;
+          }
+          const auto own_it = nbr_weight.find(own);
+          const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+          const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
+
+          CommunityId best = own;
+          Weight best_gain = 0;
+          Weight best_e = e_own;
+          for (const auto& [target, e_target] : nbr_weight) {
+            if (target == own) continue;
+            const Weight gain =
+                (e_target - e_own) / m -
+                gamma * kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) /
+                    (2 * m * m);
+            if (gain > best_gain ||
+                (gain == best_gain && gain > 0 && best != own && target < best)) {
+              best = target;
+              best_gain = gain;
+              best_e = e_target;
+            }
+          }
+
+          // Singleton-swap guard: prevents two same-batch singleton vertices
+          // (which decide from the same snapshot) from endlessly exchanging
+          // communities; only the id-decreasing direction is allowed.
+          if (best != own && size[static_cast<std::size_t>(own)] == 1 &&
+              size[static_cast<std::size_t>(best)] == 1 && best > own) {
+            best = own;
+          }
+
+          proposed[vi] = best;
+          delta_e[vi] = best_e - e_own;
+        }
+      });
+
+      // Serial apply in sweep (slot) order: the fixed sequence pins every
+      // floating-point accumulation in the trackers, so modularity is
+      // bitwise identical at any thread count. Same-batch neighbour moves
+      // can make a delta_e increment stale -- deterministic, bounded drift;
+      // the exact modularity is recomputed at phase end.
+      for (std::int64_t i = batch_begin; i < batch_end; ++i) {
+        const VertexId v = order[static_cast<std::size_t>(i)];
         const auto vi = static_cast<std::size_t>(v);
-        if (cfg.early_termination && !et.is_active(vi, v, phase, iter)) {
-          et.update(vi, false);
+        const CommunityId best = proposed[vi];
+        if (best == kInvalidCommunity) {
+          if (cfg.early_termination) et.update(vi, false);
           continue;
         }
-
         const CommunityId own = curr[vi];
-        const Weight kv = k[vi];
-
-        nbr_weight.clear();
-        for (const auto& e : g.neighbors(v)) {
-          if (e.dst == v) continue;
-          nbr_weight[curr[static_cast<std::size_t>(e.dst)]] += e.weight;
-        }
-        const auto own_it = nbr_weight.find(own);
-        const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
-        const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
-
-        CommunityId best = own;
-        Weight best_gain = 0;
-        Weight best_e = e_own;
-        for (const auto& [target, e_target] : nbr_weight) {
-          if (target == own) continue;
-          const Weight gain =
-              (e_target - e_own) / m -
-              gamma * kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) /
-                  (2 * m * m);
-          if (gain > best_gain ||
-              (gain == best_gain && gain > 0 && best != own && target < best)) {
-            best = target;
-            best_gain = gain;
-            best_e = e_target;
-          }
-        }
-
-        // Singleton-swap guard: prevents two concurrently-processed singleton
-        // vertices from endlessly exchanging communities; only the
-        // id-decreasing direction is allowed.
-        if (best != own && size[static_cast<std::size_t>(own)] == 1 &&
-            size[static_cast<std::size_t>(best)] == 1 && best > own) {
-          best = own;
-        }
-
         const bool moved = best != own;
         if (moved) {
-#ifdef _OPENMP
-#pragma omp critical(dlouvain_shared_move)
-#endif
-          {
-            const Weight a_s = a[static_cast<std::size_t>(own)];
-            const Weight a_t = a[static_cast<std::size_t>(best)];
-            degree_term += (a_s - kv) * (a_s - kv) - a_s * a_s +
-                           (a_t + kv) * (a_t + kv) - a_t * a_t;
-            a[static_cast<std::size_t>(own)] -= kv;
-            a[static_cast<std::size_t>(best)] += kv;
-            --size[static_cast<std::size_t>(own)];
-            ++size[static_cast<std::size_t>(best)];
-            intra += 2 * (best_e - e_own);
-            curr[vi] = best;
-          }
+          const Weight kv = k[vi];
+          const Weight a_s = a[static_cast<std::size_t>(own)];
+          const Weight a_t = a[static_cast<std::size_t>(best)];
+          degree_term += (a_s - kv) * (a_s - kv) - a_s * a_s +
+                         (a_t + kv) * (a_t + kv) - a_t * a_t;
+          a[static_cast<std::size_t>(own)] -= kv;
+          a[static_cast<std::size_t>(best)] += kv;
+          --size[static_cast<std::size_t>(own)];
+          ++size[static_cast<std::size_t>(best)];
+          intra += 2 * delta_e[vi];
+          curr[vi] = best;
           ++moved_count;
         }
         if (cfg.early_termination) et.update(vi, moved);
@@ -162,8 +199,8 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
     if (converged || moved_count == 0) break;
   }
 
-  // The incremental tracker is exact single-threaded and drift-bounded under
-  // races; report the exactly recomputed value.
+  // The incremental tracker is exact when no same-batch neighbours moved and
+  // drift-bounded otherwise; report the exactly recomputed value.
   stats.modularity_after = modularity(g, curr, gamma);
   stats.graph_vertices = n;
   stats.graph_arcs = g.num_arcs();
@@ -178,12 +215,6 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
 
 LouvainResult louvain_shared(const graph::Csr& g, const LouvainConfig& cfg,
                              int num_threads) {
-#ifdef _OPENMP
-  if (num_threads > 0) omp_set_num_threads(num_threads);
-#else
-  (void)num_threads;
-#endif
-
   util::WallTimer total_timer;
 
   if (cfg.vertex_following) {
@@ -199,6 +230,10 @@ LouvainResult louvain_shared(const graph::Csr& g, const LouvainConfig& cfg,
     return result;
   }
 
+  // The run's compute pool (<=0 threads = hardware concurrency), shared by
+  // every phase's decision scans.
+  util::ThreadPool pool(num_threads);
+
   LouvainResult result;
   result.community.resize(static_cast<std::size_t>(g.num_vertices()));
   std::iota(result.community.begin(), result.community.end(), CommunityId{0});
@@ -209,7 +244,7 @@ LouvainResult louvain_shared(const graph::Csr& g, const LouvainConfig& cfg,
   for (int phase = 0; phase < cfg.max_phases; ++phase) {
     util::WallTimer phase_timer;
     PhaseStats stats;
-    auto phase_out = run_phase(current, cfg, phase, stats);
+    auto phase_out = run_phase(current, cfg, phase, pool, stats);
     stats.seconds = phase_timer.seconds();
     stats.inactive_vertices = phase_out.inactive;
     result.phase_stats.push_back(stats);

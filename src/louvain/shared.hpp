@@ -2,12 +2,17 @@
 // for Grappolo [Lu, Halappanavar, Kalyanaraman 2015], which the paper uses
 // as its shared-memory baseline (Tables I and III).
 //
-// Like Grappolo, move decisions within an iteration are taken against the
-// PREVIOUS iteration's community state, so all vertices can be processed in
-// parallel; the singleton-swap guard ("a vertex in a singleton community may
-// move to another singleton community only if that community's id is
-// smaller") prevents the classic two-vertex oscillation of synchronous label
-// updates. Results are deterministic and independent of thread count.
+// The sweep runs on the project thread pool (util/parallel.hpp) as a
+// sequence of bulk-synchronous micro-batches: within a batch, move decisions
+// are computed in parallel against the batch-start community state (like
+// Grappolo, a decision never observes a same-batch move), then the batch is
+// applied serially in a fixed order before the next begins. Batch boundaries
+// depend only on the vertex count, so -- unlike Grappolo's benignly racy
+// asynchronous sweep -- results here are DETERMINISTIC and bitwise identical
+// at any thread count. The singleton-swap guard ("a vertex in a singleton
+// community may move to another singleton community only if that community's
+// id is smaller") prevents the classic two-vertex oscillation of snapshot
+// label updates.
 //
 // Supports the ET heuristic (paper Table I modified Grappolo exactly this
 // way) via LouvainConfig::early_termination / et_alpha.
@@ -18,9 +23,9 @@
 
 namespace dlouvain::louvain {
 
-/// Run synchronous parallel Louvain with `num_threads` OpenMP threads
-/// (<=0 = library default). Falls back to one thread when built without
-/// OpenMP.
+/// Run pool-threaded Louvain with `num_threads` compute threads (<=0 = the
+/// hardware concurrency). The result -- community assignment and every
+/// modularity bit -- is identical for every value of `num_threads`.
 LouvainResult louvain_shared(const graph::Csr& g, const LouvainConfig& config = {},
                              int num_threads = 0);
 

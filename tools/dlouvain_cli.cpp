@@ -8,19 +8,20 @@
 //   --variant baseline|tc|et|etc   heuristic variant (default baseline)
 //   --alpha <x>                    ET aggressiveness (default 0.25)
 //   --ranks <p>                    in-process ranks (default 4)
+//   --threads <t>                  compute threads per rank (default 1)
 //   --coloring                     colour-constrained sweeps (Section VI)
 //   --output <file>                write "vertex community" lines
 //   --stats                        print degree/component statistics first
 //
 // Examples:
 //   dlouvain_cli --generate soc-friendster --variant etc --alpha 0.25
-//   dlouvain_cli --input graph.dlel --ranks 8 --output communities.txt
+//   dlouvain_cli --input graph.dlel --ranks 8 --threads 4 --output communities.txt
 #include <fstream>
 #include <iostream>
 
 #include "comm/world.hpp"
 #include "core/components.hpp"
-#include "core/dist_louvain.hpp"
+#include "dlouvain.hpp"
 #include "gen/surrogate.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/stats.hpp"
@@ -29,30 +30,6 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-namespace {
-
-dlouvain::core::DistConfig make_config(const std::string& variant, double alpha,
-                                       bool coloring) {
-  using dlouvain::core::DistConfig;
-  DistConfig cfg;
-  if (variant == "baseline") {
-    cfg = DistConfig::baseline();
-  } else if (variant == "tc") {
-    cfg = DistConfig::threshold_cycling();
-  } else if (variant == "et") {
-    cfg = DistConfig::et(alpha);
-  } else if (variant == "etc") {
-    cfg = DistConfig::etc(alpha);
-  } else {
-    throw std::invalid_argument("unknown --variant '" + variant +
-                                "' (expected baseline|tc|et|etc)");
-  }
-  cfg.use_coloring = coloring;
-  return cfg;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace dlouvain;
 
@@ -60,9 +37,11 @@ int main(int argc, char** argv) {
   const auto input = cli.get_string("input", "", "binary edge-list (.dlel) path");
   const auto generate = cli.get_string("generate", "", "surrogate graph name");
   const double scale = cli.get_double("scale", 1.0, "generator size multiplier");
-  const auto variant = cli.get_string("variant", "baseline", "baseline|tc|et|etc");
+  const auto variant_name = cli.get_string("variant", "baseline", "baseline|tc|et|etc");
   const double alpha = cli.get_double("alpha", 0.25, "ET aggressiveness");
   const int ranks = static_cast<int>(cli.get_int("ranks", 4, "in-process ranks"));
+  const int threads =
+      static_cast<int>(cli.get_int("threads", 1, "compute threads per rank (<=0 = auto)"));
   const bool coloring = cli.get_flag("coloring", false, "colour-constrained sweeps");
   const auto output = cli.get_string("output", "", "write 'vertex community' lines");
   const bool stats = cli.get_flag("stats", false, "print graph statistics first");
@@ -75,76 +54,63 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::DistConfig cfg;
-  try {
-    cfg = make_config(variant, alpha, coloring);
-  } catch (const std::invalid_argument& err) {
-    std::cerr << "dlouvain: " << err.what() << '\n';
+  const auto variant = core::parse_variant(variant_name);
+  if (!variant) {
+    std::cerr << "dlouvain: unknown --variant '" << variant_name
+              << "' (expected baseline|tc|et|etc)\n";
     return 1;
   }
 
-  core::DistResult result;
-  core::DistComponentsResult components;
-  graph::BinaryHeader header;
   util::WallTimer timer;
 
-  comm::run(ranks, [&](comm::Comm& comm) {
-    graph::DistGraph dist;
-    if (!input.empty()) {
-      dist = graph::load_distributed(comm, input);
-    } else {
-      const auto generated = gen::surrogate(generate, scale);
-      const auto part = graph::partition_even_vertices(generated.num_vertices, comm.size());
-      // Each rank contributes a 1/p slice of the generated edges, as a file
-      // loader would.
-      std::vector<Edge> mine;
-      for (std::size_t i = comm.rank(); i < generated.edges.size();
-           i += static_cast<std::size_t>(comm.size()))
-        mine.push_back(generated.edges[i]);
-      dist = graph::DistGraph::build(comm, part, std::move(mine), true);
-    }
-    if (comm.is_root()) {
-      header.num_vertices = dist.global_n();
-      header.num_edges = dist.global_arcs() / 2;
-    }
-    if (stats) {
+  // Materialize the graph exactly ONCE, as a replicated CSR -- the CLI's
+  // operating envelope is graphs that fit on one node, so every downstream
+  // consumer (the run itself, --stats, --summary) reuses this one copy
+  // instead of re-reading or re-generating.
+  graph::Csr csr;
+  if (!input.empty()) {
+    const auto header = graph::read_binary_header(input);
+    csr = graph::from_edges(header.num_vertices,
+                            graph::read_binary_slice(input, 0, header.num_edges));
+  } else {
+    const auto generated = gen::surrogate(generate, scale);
+    csr = graph::from_edges(generated.num_vertices, generated.edges);
+  }
+
+  core::DistComponentsResult components;
+  if (stats) {
+    comm::run(ranks, [&](comm::Comm& comm) {
+      auto dist = graph::DistGraph::from_replicated(comm, csr);
       auto comp = core::dist_connected_components(comm, dist);
       if (comm.is_root()) components = std::move(comp);
-    }
-    auto r = core::dist_louvain(comm, std::move(dist), cfg);
-    if (comm.is_root()) result = std::move(r);
-  });
+    });
+  }
 
-  std::cout << "graph:        " << header.num_vertices << " vertices, "
-            << header.num_edges << " edges\n";
+  const auto plan = Plan::distributed(ranks)
+                        .threads(threads)
+                        .variant(*variant)
+                        .alpha(alpha)
+                        .coloring(coloring);
+  const auto result = plan.run(csr);
+
+  std::cout << "graph:        " << csr.num_vertices() << " vertices, "
+            << csr.num_arcs() / 2 << " edges\n";
   if (stats) {
     std::cout << "components:   " << components.count << " (in "
               << components.rounds << " propagation rounds)\n";
   }
-  std::cout << "variant:      " << core::variant_label(cfg.variant, cfg.base.et_alpha)
+  std::cout << "variant:      " << core::variant_label(*variant, alpha)
             << (coloring ? " + coloring" : "") << '\n'
-            << "ranks:        " << ranks << '\n'
+            << "ranks:        " << ranks << " x " << threads << " thread(s)\n"
             << "communities:  " << result.num_communities << '\n'
             << "modularity:   " << result.modularity << '\n'
             << "phases:       " << result.phases << " (" << result.total_iterations
             << " iterations)\n"
             << "wall time:    " << util::TextTable::fmt(timer.seconds(), 3) << " s\n"
-            << "traffic:      " << result.messages << " messages, " << result.bytes
-            << " bytes\n";
+            << "traffic:      " << result.distributed->messages << " messages, "
+            << result.distributed->bytes << " bytes\n";
 
   if (summary > 0) {
-    // Rebuild a replicated CSR from the result's source for summarization.
-    // (Only sensible for generated graphs / file graphs that fit on one
-    // node, which is the CLI's operating envelope anyway.)
-    graph::Csr csr;
-    if (!input.empty()) {
-      const auto header2 = graph::read_binary_header(input);
-      csr = graph::from_edges(header2.num_vertices,
-                              graph::read_binary_slice(input, 0, header2.num_edges));
-    } else {
-      const auto generated = gen::surrogate(generate, scale);
-      csr = graph::from_edges(generated.num_vertices, generated.edges);
-    }
     const auto summaries = quality::summarize_communities(csr, result.community);
     util::TextTable table({"community", "size", "internal w", "boundary w",
                            "conductance"});
