@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/message.hpp"
 #include "comm/world.hpp"
 
@@ -49,6 +50,20 @@ class Comm {
   }
   [[nodiscard]] bool is_root() const noexcept { return rank_ == 0; }
   [[nodiscard]] World& world() const noexcept { return *world_; }
+
+  /// Crash trigger for deterministic fault injection: algorithm code calls
+  /// this at well-defined progress points ({phase, iteration}); if the
+  /// world's FaultPlan pins a crash of this rank there, the rank dies by
+  /// throwing RankCrashed. No-op (one atomic-free null check) without
+  /// injection.
+  void fault_point(int phase, int iteration = 0) {
+    if (auto* injector = world_->injector();
+        injector != nullptr && injector->should_crash(rank_, phase, iteration)) {
+      throw RankCrashed("rank " + std::to_string(rank_) +
+                        ": injected crash at phase " + std::to_string(phase) +
+                        ", iteration " + std::to_string(iteration));
+    }
+  }
 
   // --- point to point -------------------------------------------------
 

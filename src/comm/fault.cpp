@@ -1,0 +1,76 @@
+#include "comm/fault.hpp"
+
+#include "util/prng.hpp"
+
+namespace dlouvain::comm {
+
+namespace {
+
+// Distinct salts per fate kind so one keyed draw never correlates with
+// another (a message both delayed and duplicated must be two independent
+// coin flips).
+constexpr std::uint64_t kDelaySalt = 0x64656c6179ULL;      // "delay"
+constexpr std::uint64_t kDuplicateSalt = 0x647570ULL;      // "dup"
+constexpr std::uint64_t kCorruptSalt = 0x636f727275ULL;    // "corru"
+constexpr std::uint64_t kBitSalt = 0x626974ULL;            // "bit"
+
+std::uint64_t stream_key(Rank dst, Rank src, Tag tag, std::uint64_t seq) {
+  return util::hash_combine(
+      util::hash_combine(static_cast<std::uint64_t>(dst), static_cast<std::uint64_t>(src)),
+      util::hash_combine(static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)), seq));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), crash_fired_(plan_.crashes.size(), false) {}
+
+FaultInjector::Fate FaultInjector::message_fate(Rank dst, Rank src, Tag tag,
+                                                std::uint64_t seq,
+                                                std::size_t payload_bytes) {
+  Fate fate;
+  if (!plan_.injects_messages()) return fate;
+  const std::uint64_t key = stream_key(dst, src, tag, seq);
+
+  if (plan_.delay_probability > 0 &&
+      util::hash_rand_unit(util::hash_combine(plan_.seed, kDelaySalt) ^ key) <
+          plan_.delay_probability) {
+    fate.delay = true;
+    delayed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (plan_.duplicate_probability > 0 &&
+      util::hash_rand_unit(util::hash_combine(plan_.seed, kDuplicateSalt) ^ key) <
+          plan_.duplicate_probability) {
+    fate.duplicate = true;
+    duplicated.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Zero-length payloads (barrier tokens) have no bits to flip; corruption
+  // only targets data-carrying messages.
+  if (payload_bytes > 0 && plan_.corrupt_probability > 0 &&
+      util::hash_rand_unit(util::hash_combine(plan_.seed, kCorruptSalt) ^ key) <
+          plan_.corrupt_probability) {
+    fate.corrupt = true;
+    fate.corrupt_bit = static_cast<std::uint32_t>(
+        util::mix64(util::hash_combine(plan_.seed, kBitSalt) ^ key) %
+        (payload_bytes * 8));
+    corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fate;
+}
+
+bool FaultInjector::should_crash(Rank rank, int phase, int iteration) {
+  if (plan_.crashes.empty()) return false;
+  const std::lock_guard<std::mutex> lock(crash_mutex_);
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const auto& c = plan_.crashes[i];
+    if (!crash_fired_[i] && c.rank == rank && c.phase == phase &&
+        c.iteration == iteration) {
+      crash_fired_[i] = true;
+      crashes_fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dlouvain::comm

@@ -1,0 +1,118 @@
+// Deterministic fault injection for the message-passing runtime.
+//
+// A FaultPlan is a seeded, declarative description of the failures one run
+// should experience: rank crashes pinned to a {phase, iteration} of the
+// algorithm, plus per-message delay / duplication / payload-corruption
+// probabilities applied on the wire. A FaultInjector is the plan's live,
+// shareable state: message fates are drawn from counter-based hashes keyed
+// on (destination, source, tag, per-stream sequence number), so which
+// message is delayed / duplicated / corrupted is a pure function of the plan
+// seed and the communication pattern -- NOT of thread scheduling -- and every
+// failure scenario replays exactly. Crash triggers are one-shot: the same
+// injector carried across restart attempts fires each crash once, which is
+// what lets a recovery driver resume past an injected failure.
+//
+// Injection sites (see mailbox.cpp): fates are applied as messages enter the
+// destination mailbox, inside the per-stream sequence numbering, so the
+// per-(src, tag) FIFO guarantee is preserved by construction -- a delayed
+// message delays its whole stream rather than being overtaken.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace dlouvain::comm {
+
+/// Thrown by Comm::fault_point on a rank whose injected crash trigger fires.
+/// Derives CommFailure, so recovery drivers treat it like any other
+/// detectable communication fault.
+struct RankCrashed : CommFailure {
+  using CommFailure::CommFailure;
+};
+
+/// Declarative, seeded fault scenario. Plain value; build fluently:
+///
+///   comm::FaultPlan().with_seed(7).crash(2, /*phase=*/1).corrupt(0.001)
+struct FaultPlan {
+  std::uint64_t seed{1};
+
+  struct Crash {
+    Rank rank{0};
+    int phase{0};
+    int iteration{0};
+  };
+  std::vector<Crash> crashes;
+
+  double delay_probability{0};      ///< per message; holds delivery back
+  double delay_ms{2.0};             ///< visibility delay for delayed messages
+  double duplicate_probability{0};  ///< per message; re-enqueue same seq
+  double corrupt_probability{0};    ///< per message; flip one payload bit
+
+  FaultPlan& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  FaultPlan& crash(Rank rank, int phase, int iteration = 0) {
+    crashes.push_back(Crash{rank, phase, iteration});
+    return *this;
+  }
+  FaultPlan& delay(double probability, double ms = 2.0) {
+    delay_probability = probability;
+    delay_ms = ms;
+    return *this;
+  }
+  FaultPlan& duplicate(double probability) {
+    duplicate_probability = probability;
+    return *this;
+  }
+  FaultPlan& corrupt(double probability) {
+    corrupt_probability = probability;
+    return *this;
+  }
+
+  [[nodiscard]] bool injects_messages() const noexcept {
+    return delay_probability > 0 || duplicate_probability > 0 || corrupt_probability > 0;
+  }
+};
+
+/// Live state of one FaultPlan. Share (via shared_ptr in RunOptions) across
+/// restart attempts of the same job so crash triggers stay one-shot.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Fate of the message with per-stream sequence number `seq` travelling
+  /// src -> dst under wire tag `tag`. Deterministic; counters updated.
+  struct Fate {
+    bool delay{false};
+    bool duplicate{false};
+    bool corrupt{false};
+    std::uint32_t corrupt_bit{0};  ///< bit index into the payload to flip
+  };
+  Fate message_fate(Rank dst, Rank src, Tag tag, std::uint64_t seq,
+                    std::size_t payload_bytes);
+
+  [[nodiscard]] double delay_ms() const noexcept { return plan_.delay_ms; }
+  [[nodiscard]] bool injects_messages() const noexcept { return plan_.injects_messages(); }
+
+  /// One-shot crash trigger: true exactly once for each plan entry matching
+  /// (rank, phase, iteration).
+  bool should_crash(Rank rank, int phase, int iteration);
+
+  // Telemetry (cumulative across all attempts sharing this injector).
+  std::atomic<std::int64_t> delayed{0};
+  std::atomic<std::int64_t> duplicated{0};
+  std::atomic<std::int64_t> corrupted{0};
+  std::atomic<std::int64_t> crashes_fired{0};
+
+ private:
+  FaultPlan plan_;
+  std::mutex crash_mutex_;
+  std::vector<bool> crash_fired_;
+};
+
+}  // namespace dlouvain::comm

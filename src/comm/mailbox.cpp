@@ -1,12 +1,61 @@
 #include "comm/mailbox.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "comm/fault.hpp"
+#include "comm/world.hpp"
+#include "util/crc32.hpp"
 
 namespace dlouvain::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// RAII entry in the mailbox's blocked-receiver registry (caller holds the
+/// mailbox mutex at construction and destruction).
+struct WaitingGuard {
+  std::vector<std::pair<Rank, Tag>>& registry;
+  std::pair<Rank, Tag> entry;
+
+  WaitingGuard(std::vector<std::pair<Rank, Tag>>& r, Rank src, Tag tag)
+      : registry(r), entry(src, tag) {
+    registry.push_back(entry);
+  }
+  ~WaitingGuard() {
+    const auto it = std::find(registry.begin(), registry.end(), entry);
+    if (it != registry.end()) registry.erase(it);
+  }
+};
+
+}  // namespace
 
 void Mailbox::put(Message msg) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    msg.seq = next_put_seq_[stream_key(msg.src, msg.tag)]++;
+    msg.crc = util::crc32(msg.payload);
+
+    bool duplicate = false;
+    if (injector_ != nullptr && injector_->injects_messages()) {
+      const auto fate =
+          injector_->message_fate(owner_, msg.src, msg.tag, msg.seq, msg.payload.size());
+      if (fate.delay) {
+        msg.visible_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double, std::milli>(
+                                                injector_->delay_ms()));
+      }
+      if (fate.corrupt) {
+        // Flip one bit AFTER the checksum was computed: wire corruption the
+        // receiver's CRC verification must catch.
+        auto& byte = msg.payload[fate.corrupt_bit / 8];
+        byte ^= static_cast<std::byte>(1u << (fate.corrupt_bit % 8));
+      }
+      duplicate = fate.duplicate;
+    }
+
+    if (duplicate) queue_.push_back(msg);  // same seq: dedup layer's problem
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -14,17 +63,81 @@ void Mailbox::put(Message msg) {
 
 Message Mailbox::get(Rank src, Tag tag) {
   std::unique_lock<std::mutex> lock(mutex_);
+  const WaitingGuard waiting(waiting_, src, tag);
+
+  const bool bounded = timeout_seconds_ > 0;
+  const auto deadline =
+      bounded ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(timeout_seconds_))
+              : Clock::time_point::max();
+
   for (;;) {
     if (aborted_) throw WorldAborted{};
+
+    // First queued message of the (src, tag) stream -- queue order is put
+    // order, so this preserves per-stream FIFO even with delayed entries: a
+    // delayed head holds its whole stream back instead of being overtaken.
     const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
       return m.src == src && m.tag == tag;
     });
+    bool head_delayed = false;
+    Clock::time_point head_visible{};
     if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
+      const auto now = Clock::now();
+      if (it->visible_at <= now) {
+        auto& expected = next_deliver_seq_[stream_key(src, tag)];
+        if (it->seq < expected) {
+          // Duplicate delivery: drop and keep scanning.
+          queue_.erase(it);
+          ++duplicates_dropped_;
+          if (world_ != nullptr)
+            world_->duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (it->seq > expected) {
+          throw CommFailure("mailbox of rank " + std::to_string(owner_) +
+                            ": lost message in stream (src=" + std::to_string(src) +
+                            ", tag=" + std::to_string(tag) + "): expected seq " +
+                            std::to_string(expected) + ", found " +
+                            std::to_string(it->seq));
+        }
+
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        ++expected;
+        if (util::crc32(msg.payload) != msg.crc) {
+          throw CorruptMessage("rank " + std::to_string(owner_) +
+                               ": payload checksum mismatch on message (src=" +
+                               std::to_string(src) + ", tag=" + std::to_string(tag) +
+                               ", seq=" + std::to_string(msg.seq) + ", " +
+                               std::to_string(msg.payload.size()) + " bytes)");
+        }
+        return msg;
+      }
+      head_delayed = true;
+      head_visible = it->visible_at;
     }
-    cv_.wait(lock);
+
+    if (Clock::now() >= deadline) {
+      // Deadline expired with no matching message: assemble the deadlock
+      // diagnostic. Our own state is summarised under our (held) lock; the
+      // rest of the world via try_lock snapshots.
+      std::string report = "comm timeout after " + std::to_string(timeout_seconds_) +
+                           "s: rank " + std::to_string(owner_) + " blocked on (src=" +
+                           std::to_string(src) + ", tag=" + std::to_string(tag) + ")";
+      report += "\n  " + status_line_locked();
+      if (world_ != nullptr) report += world_->deadlock_report(owner_);
+      throw CommTimeout(report);
+    }
+    // A delayed stream head or a finite deadline bounds the sleep; iterators
+    // are invalidated by unlocking, so re-scan after every wake.
+    if (head_delayed) {
+      cv_.wait_until(lock, std::min(head_visible, deadline));
+    } else if (bounded) {
+      cv_.wait_until(lock, deadline);
+    } else {
+      cv_.wait(lock);
+    }
   }
 }
 
@@ -39,6 +152,40 @@ void Mailbox::abort() {
 std::size_t Mailbox::pending() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::int64_t Mailbox::duplicates_dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return duplicates_dropped_;
+}
+
+std::string Mailbox::status_line_locked() const {
+  std::ostringstream out;
+  out << "rank " << owner_ << ": " << queue_.size() << " pending";
+  if (!waiting_.empty()) {
+    out << ", blocked on";
+    for (const auto& [src, tag] : waiting_) out << " (src=" << src << ", tag=" << tag << ")";
+  }
+  // Per-stream depths of what IS queued -- the other half of "who is stuck
+  // on whom": a deep unread stream names the receiver that never came.
+  std::unordered_map<std::uint64_t, std::size_t> depth;
+  for (const auto& m : queue_) ++depth[stream_key(m.src, m.tag)];
+  std::size_t shown = 0;
+  for (const auto& [key, count] : depth) {
+    if (shown++ == 4) {
+      out << " ...";
+      break;
+    }
+    out << " [src=" << static_cast<Rank>(key >> 32)
+        << ", tag=" << static_cast<Tag>(static_cast<std::uint32_t>(key)) << "]x" << count;
+  }
+  return out.str();
+}
+
+std::string Mailbox::status_line() const {
+  const std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return "rank " + std::to_string(owner_) + ": <lock busy>";
+  return status_line_locked();
 }
 
 }  // namespace dlouvain::comm

@@ -5,15 +5,35 @@
 // present. Messages from the same source with the same tag are delivered in
 // FIFO order -- the non-overtaking guarantee MPI provides and that the
 // Louvain communication protocol relies on.
+//
+// The mailbox is also the runtime's detection layer (ISSUE 2 fault model):
+//  * every message is stamped with a per-(src, tag) sequence number on entry
+//    and a CRC32 of its payload; receives verify the checksum (CorruptMessage
+//    on mismatch) and silently drop duplicate sequence numbers, so injected
+//    or transport-level duplication and bit-rot are caught instead of
+//    silently corrupting the protocol;
+//  * blocked receives honour a configurable deadline; on expiry they throw
+//    CommTimeout carrying a deadlock diagnostic (which ranks are blocked on
+//    which (src, tag), per-mailbox pending depths) instead of hanging
+//    forever.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "comm/message.hpp"
 
 namespace dlouvain::comm {
+
+class FaultInjector;
+class World;
 
 /// Thrown out of blocked receives when another rank aborted (threw) so the
 /// whole world can unwind instead of deadlocking.
@@ -23,13 +43,41 @@ struct WorldAborted : std::exception {
   }
 };
 
+/// Base class of every detectable communication fault. Recovery drivers
+/// (Plan's restart loop) catch this one type to decide "retryable".
+struct CommFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A blocked receive exceeded the configured deadline; what() carries the
+/// deadlock diagnostic.
+struct CommTimeout : CommFailure {
+  using CommFailure::CommFailure;
+};
+
+/// A received payload failed its CRC32 check.
+struct CorruptMessage : CommFailure {
+  using CommFailure::CommFailure;
+};
+
 class Mailbox {
  public:
-  /// Deposit a message (buffered send: never blocks).
+  /// `world` may be null (standalone use in unit tests): no deadline, no
+  /// injection, no global counters. `timeout_seconds` <= 0 = wait forever.
+  explicit Mailbox(World* world = nullptr, Rank owner = 0, double timeout_seconds = 0,
+                   FaultInjector* injector = nullptr)
+      : world_(world), owner_(owner), timeout_seconds_(timeout_seconds),
+        injector_(injector) {}
+
+  /// Deposit a message (buffered send: never blocks). Stamps the sequence
+  /// number and payload CRC, then applies any injected fate (delay /
+  /// duplicate / corrupt) from the world's FaultInjector.
   void put(Message msg);
 
   /// Block until a message from `src` with tag `tag` is available, then
-  /// remove and return it. Throws WorldAborted if abort() is called.
+  /// remove and return it. Throws WorldAborted if abort() is called,
+  /// CommTimeout past the configured deadline, CorruptMessage on checksum
+  /// mismatch.
   Message get(Rank src, Tag tag);
 
   /// Wake all blocked receivers with WorldAborted.
@@ -38,11 +86,34 @@ class Mailbox {
   /// Number of queued messages (diagnostics only).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Duplicate messages this mailbox has dropped (diagnostics only).
+  [[nodiscard]] std::int64_t duplicates_dropped() const;
+
+  /// One line for the deadlock report: blocked receivers and queue depth.
+  /// Uses try_lock so a wedged peer cannot block the reporter; returns
+  /// "rank N: <busy>" if the mailbox lock is held elsewhere.
+  [[nodiscard]] std::string status_line() const;
+
  private:
+  [[nodiscard]] static std::uint64_t stream_key(Rank src, Tag tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+  [[nodiscard]] std::string status_line_locked() const;
+
+  World* world_;
+  Rank owner_;
+  double timeout_seconds_;
+  FaultInjector* injector_;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool aborted_{false};
+  std::unordered_map<std::uint64_t, std::uint64_t> next_put_seq_;
+  std::unordered_map<std::uint64_t, std::uint64_t> next_deliver_seq_;
+  std::vector<std::pair<Rank, Tag>> waiting_;  ///< blocked receivers' (src, tag)
+  std::int64_t duplicates_dropped_{0};
 };
 
 }  // namespace dlouvain::comm

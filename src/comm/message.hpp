@@ -5,7 +5,9 @@
 // datatypes impose on the original implementation.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <type_traits>
@@ -23,6 +25,15 @@ struct Message {
   Rank src{-1};
   Tag tag{0};
   std::vector<std::byte> payload;
+
+  // Wire-integrity metadata, stamped by the destination mailbox as the
+  // message is enqueued (the in-process analogue of a transport header).
+  // `seq` numbers the (src, tag) stream for duplicate suppression; `crc` is
+  // the CRC32 of the payload at send time, verified on receive; `visible_at`
+  // implements injected delivery delays (epoch = immediately visible).
+  std::uint64_t seq{0};
+  std::uint32_t crc{0};
+  std::chrono::steady_clock::time_point visible_at{};
 };
 
 /// Serialize a span of trivially copyable values into a byte buffer.

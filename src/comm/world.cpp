@@ -4,26 +4,39 @@
 #include <thread>
 
 #include "comm/comm.hpp"
+#include "comm/fault.hpp"
 #include "util/log.hpp"
 
 namespace dlouvain::comm {
 
-World::World(int size) {
+World::World(int size, const RunOptions& options) : options_(options) {
   if (size <= 0) throw std::invalid_argument("world size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
-  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  for (int r = 0; r < size; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>(this, r, options_.timeout_seconds,
+                                                   options_.faults.get()));
 }
 
 void World::abort_all() {
   for (auto& box : mailboxes_) box->abort();
 }
 
+std::string World::deadlock_report(Rank reporting) const {
+  std::string report;
+  for (std::size_t r = 0; r < mailboxes_.size(); ++r) {
+    if (static_cast<Rank>(r) == reporting) continue;  // reporter printed itself
+    report += "\n  " + mailboxes_[r]->status_line();
+  }
+  return report;
+}
+
 std::size_t rank_of(const Comm& comm) noexcept {
   return static_cast<std::size_t>(comm.rank());
 }
 
-TrafficReport run(int nranks, const std::function<void(Comm&)>& fn) {
-  World world(nranks);
+TrafficReport run(int nranks, const std::function<void(Comm&)>& fn,
+                  const RunOptions& options) {
+  World world(nranks, options);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -34,6 +47,14 @@ TrafficReport run(int nranks, const std::function<void(Comm&)>& fn) {
       fn(comm);
     } catch (const WorldAborted&) {
       // Unwound because another rank failed; nothing to record.
+    } catch (const std::exception& e) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      util::log_error() << "rank " << rank << " failed (" << e.what()
+                        << "); aborting world";
+      world.abort_all();
     } catch (...) {
       {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -55,7 +76,14 @@ TrafficReport run(int nranks, const std::function<void(Comm&)>& fn) {
   }
 
   if (first_error) std::rethrow_exception(first_error);
-  return TrafficReport{world.messages_sent.load(), world.bytes_sent.load()};
+  TrafficReport report{world.messages_sent.load(), world.bytes_sent.load(),
+                       world.duplicates_dropped.load()};
+  if (const auto* inj = world.injector()) {
+    report.injected_delays = inj->delayed.load();
+    report.injected_duplicates = inj->duplicated.load();
+    report.injected_corruptions = inj->corrupted.load();
+  }
+  return report;
 }
 
 }  // namespace dlouvain::comm

@@ -4,12 +4,18 @@
 // This is the project's stand-in for an MPI job: `comm::run(p, fn)` is
 // `mpirun -np p`, and the `Comm` handle each rank receives is its
 // MPI_COMM_WORLD. See DESIGN.md section 2 for the substitution rationale.
+//
+// RunOptions carries the fault-tolerance knobs: a receive deadline (blocked
+// receives throw CommTimeout with a deadlock diagnostic instead of hanging)
+// and an optional FaultInjector whose plan the mailboxes apply to every
+// message. Both default off, so existing callers are unchanged.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/mailbox.hpp"
@@ -17,25 +23,46 @@
 namespace dlouvain::comm {
 
 class Comm;
+class FaultInjector;
+
+/// Knobs for one run()/World. Defaults reproduce the original behaviour
+/// (wait forever, no injection).
+struct RunOptions {
+  /// <= 0 waits forever; > 0 makes every blocked receive throw CommTimeout
+  /// (with a deadlock diagnostic) after this many seconds without a match.
+  double timeout_seconds{0};
+  /// Shared so crash triggers stay one-shot across restart attempts of the
+  /// same job. Null = no fault injection.
+  std::shared_ptr<FaultInjector> faults;
+};
 
 /// Shared state for one group of ranks. Created by run(); user code only
 /// ever sees Comm handles.
 class World {
  public:
-  explicit World(int size);
+  explicit World(int size, const RunOptions& options = {});
 
   [[nodiscard]] int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
   [[nodiscard]] Mailbox& mailbox(Rank rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+  [[nodiscard]] FaultInjector* injector() const noexcept { return options_.faults.get(); }
 
   /// Wake every blocked receiver with WorldAborted (called when a rank throws).
   void abort_all();
+
+  /// Multi-line snapshot of every OTHER rank's mailbox (blocked receivers,
+  /// pending depths), for the CommTimeout diagnostic. Uses try_lock per
+  /// mailbox so simultaneously timing-out ranks cannot deadlock on each
+  /// other's report.
+  [[nodiscard]] std::string deadlock_report(Rank reporting) const;
 
   /// Cumulative traffic counters (all ranks). Used by telemetry to report
   /// communication volume the way the paper's HPCToolkit analysis does.
   std::atomic<std::int64_t> messages_sent{0};
   std::atomic<std::int64_t> bytes_sent{0};
+  std::atomic<std::int64_t> duplicates_dropped{0};
 
  private:
+  RunOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 
@@ -44,12 +71,18 @@ class World {
 /// unwind with WorldAborted) and the first non-abort exception is rethrown
 /// on the caller's thread.
 ///
-/// Returns the total traffic (messages, bytes) the job generated.
+/// Returns the total traffic (messages, bytes) the job generated, plus the
+/// fault-layer counters (all zero when no faults are injected).
 struct TrafficReport {
   std::int64_t messages{0};
   std::int64_t bytes{0};
+  std::int64_t duplicates_dropped{0};
+  std::int64_t injected_delays{0};
+  std::int64_t injected_duplicates{0};
+  std::int64_t injected_corruptions{0};
 };
-TrafficReport run(int nranks, const std::function<void(Comm&)>& fn);
+TrafficReport run(int nranks, const std::function<void(Comm&)>& fn,
+                  const RunOptions& options = {});
 
 /// Helper used by run_collect (defined in world.cpp, where Comm is complete,
 /// to avoid a circular include).
@@ -57,9 +90,10 @@ std::size_t rank_of(const Comm& comm) noexcept;
 
 /// As run(), but collects one R per rank (indexed by rank).
 template <typename R>
-std::vector<R> run_collect(int nranks, const std::function<R(Comm&)>& fn) {
+std::vector<R> run_collect(int nranks, const std::function<R(Comm&)>& fn,
+                           const RunOptions& options = {}) {
   std::vector<R> results(static_cast<std::size_t>(nranks));
-  run(nranks, [&](Comm& comm) { results[rank_of(comm)] = fn(comm); });
+  run(nranks, [&](Comm& comm) { results[rank_of(comm)] = fn(comm); }, options);
   return results;
 }
 

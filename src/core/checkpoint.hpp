@@ -1,0 +1,88 @@
+// Phase-boundary checkpoints for crash-recovery restart (ISSUE 2, part 3).
+//
+// The distributed Louvain outer loop is a chain of phases; everything a
+// resumed run needs at the top of phase k is (a) the current coarse graph,
+// (b) each original vertex's current meta-vertex id (the orig_to_cur chain),
+// and (c) a handful of scalars (phase index, outer-loop modularity watermark,
+// forced-final flag, cumulative counters). All other per-phase state --
+// ghosts, community ledger, ET probabilities, sweep-order PRNG -- is
+// reconstructed from scratch at each phase start by run_phase, keyed only on
+// (config seed, partition, phase), so a checkpoint at a phase boundary is
+// sufficient for bitwise-identical continuation at the same rank count.
+//
+// On-disk layout (one directory per job):
+//   <dir>/phase_<k>/meta.bin    scalars + config fingerprint, CRC32-sealed
+//   <dir>/phase_<k>/graph.dlel  coarse graph via graph::write_distributed
+//   <dir>/phase_<k>/chain.bin   global orig_to_cur array, CRC32-sealed
+//   <dir>/LATEST                name of the newest complete checkpoint
+//
+// Writes are atomic: everything lands in a tmp directory that is renamed
+// into place before LATEST is updated, so a crash mid-checkpoint leaves the
+// previous checkpoint intact. Loads validate magic, version, CRC and the
+// config fingerprint; structural corruption falls back to an older
+// checkpoint (or none), while a fingerprint mismatch -- resuming with a
+// DIFFERENT config, which would silently produce wrong results -- throws.
+//
+// Determinism contract: resuming at the SAME rank count reproduces the
+// uninterrupted run bit for bit (test_robustness.cpp proves it for every
+// kill point). Resuming at a DIFFERENT rank count is supported -- the graph
+// is repartitioned on load -- and yields a valid clustering with exact
+// bookkeeping, but not the same bits: sweep orders are keyed on partition
+// offsets, so the move sequence legitimately differs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/dist_config.hpp"
+#include "graph/dist_graph.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::core {
+
+/// Outer-loop scalars saved at a phase boundary ("about to run next_phase").
+struct CheckpointState {
+  int next_phase{0};
+  int phases_done{0};
+  std::int64_t iterations_done{0};
+  Weight prev_outer_mod{0};  ///< stored as raw bits, restored exactly
+  bool forced_final{false};
+};
+
+/// Everything checkpoint_load reconstructs for this rank.
+struct ResumedState {
+  graph::DistGraph graph;              ///< repartitioned for the CURRENT p
+  std::vector<VertexId> orig_to_cur;   ///< this rank's contiguous chain slice
+  VertexId orig_global_n{0};
+  CheckpointState state;
+};
+
+/// Hash of every config field that influences the trajectory of a run.
+/// Stored in each checkpoint and required to match on resume.
+std::uint64_t config_fingerprint(const DistConfig& cfg);
+
+/// Collective: write the checkpoint for `state.next_phase` into `dir`
+/// (created if needed). `orig_to_cur` is this rank's slice, concatenating in
+/// rank order to the full original-vertex array. Older checkpoints in `dir`
+/// are pruned once the new one is committed.
+void checkpoint_save(comm::Comm& comm, const std::string& dir,
+                     const graph::DistGraph& g, std::span<const VertexId> orig_to_cur,
+                     VertexId orig_global_n, const CheckpointState& state,
+                     std::uint64_t fingerprint);
+
+/// Collective: load the newest valid checkpoint from `dir`, or nullopt if
+/// none exists (start fresh). Rank 0 picks and validates the checkpoint and
+/// every rank agrees on the outcome. Throws if the stored config fingerprint
+/// does not match `fingerprint`.
+std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string& dir,
+                                            std::uint64_t fingerprint);
+
+/// Non-collective peek (for the recovery driver between attempts): the phase
+/// index of the newest structurally-valid checkpoint in `dir`, if any.
+std::optional<int> checkpoint_latest_phase(const std::string& dir);
+
+}  // namespace dlouvain::core

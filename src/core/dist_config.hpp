@@ -79,6 +79,17 @@ struct DistConfig {
   /// the determinism contract); <= 0 picks the hardware concurrency.
   int threads_per_rank{1};
 
+  /// Phase-boundary checkpointing for crash recovery (core/checkpoint.hpp).
+  /// An empty dir disables it. `every` = checkpoint before phases k where
+  /// k % every == 0 (k >= 1). `resume` restarts from the newest valid
+  /// checkpoint in dir instead of phase 0.
+  struct CheckpointConfig {
+    std::string dir;
+    int every{1};
+    bool resume{false};
+  };
+  CheckpointConfig checkpoint;
+
   // -- named constructors matching the paper's legend ---------------------
   static DistConfig baseline() { return {}; }
 

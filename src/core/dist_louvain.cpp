@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "core/checkpoint.hpp"
 #include "core/coloring.hpp"
 #include "core/community_state.hpp"
 #include "core/ghost_exchange.hpp"
@@ -143,6 +144,9 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
       static_cast<std::uint64_t>(phase) * 0x9e3779b97f4a7c15ULL);
 
   for (int iter = 0; iter < cfg.base.max_iterations_per_phase; ++iter) {
+    // Deterministic crash trigger: a FaultPlan entry pinned to this rank at
+    // (phase, iter) fires here, before any of the iteration's collectives.
+    comm.fault_point(phase, iter);
     std::int64_t local_active = 0;
     std::int64_t local_moved = 0;
     std::fill(moved.begin(), moved.end(), 0);
@@ -364,7 +368,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 
 }  // namespace
 
-DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConfig& cfg) {
+DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConfig& cfg,
+                        std::atomic<int>* phase_progress) {
   util::WallTimer total_timer;
   const std::int64_t messages_before = comm.world().messages_sent.load();
   const std::int64_t bytes_before = comm.world().bytes_sent.load();
@@ -379,11 +384,35 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   // owner of each vertex (the original partition never changes).
   std::vector<VertexId> orig_to_cur(static_cast<std::size_t>(graph.local_count()));
   std::iota(orig_to_cur.begin(), orig_to_cur.end(), graph.v_begin());
+  VertexId orig_global_n = graph.global_n();
+
+  const std::uint64_t fingerprint =
+      cfg.checkpoint.dir.empty() ? 0 : config_fingerprint(cfg);
 
   Weight prev_outer_mod = 0;
-  {
+  bool forced_final = false;  // run once more at the minimum tau (cycling)
+  int start_phase = 0;
+  bool resumed = false;
+
+  if (cfg.checkpoint.resume && !cfg.checkpoint.dir.empty()) {
+    if (auto loaded = checkpoint_load(comm, cfg.checkpoint.dir, fingerprint)) {
+      graph = std::move(loaded->graph);
+      orig_to_cur = std::move(loaded->orig_to_cur);
+      orig_global_n = loaded->orig_global_n;
+      start_phase = loaded->state.next_phase;
+      prev_outer_mod = loaded->state.prev_outer_mod;
+      forced_final = loaded->state.forced_final;
+      result.phases = loaded->state.phases_done;
+      result.total_iterations = loaded->state.iterations_done;
+      result.resumed_from_phase = start_phase;
+      resumed = true;
+    }
+  }
+
+  if (!resumed) {
     // Initial modularity of the singleton partition (needed for the first
-    // outer convergence check).
+    // outer convergence check). Skipped on resume: the checkpoint restored
+    // the exact outer-loop watermark instead.
     Weight degree_term = 0;
     Weight intra = 0;
     for (VertexId lv = 0; lv < graph.local_count(); ++lv) {
@@ -400,10 +429,25 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
                                : 0.0;
   }
 
-  bool forced_final = false;  // run once more at the minimum tau (cycling)
   const double tau_min = cfg.min_threshold();
 
-  for (int phase = 0; phase < cfg.base.max_phases; ++phase) {
+  for (int phase = start_phase; phase < cfg.base.max_phases; ++phase) {
+    if (phase_progress != nullptr && comm.rank() == 0)
+      phase_progress->store(phase, std::memory_order_relaxed);
+
+    // Phase-boundary checkpoint: everything needed to re-enter THIS phase.
+    // Skipped right after a resume (the checkpoint on disk already is this
+    // boundary) and at phase 0 (a fresh start needs no checkpoint).
+    if (!cfg.checkpoint.dir.empty() && phase > 0 &&
+        phase % std::max(1, cfg.checkpoint.every) == 0 &&
+        !(resumed && phase == start_phase)) {
+      const CheckpointState st{phase, result.phases,
+                               static_cast<std::int64_t>(result.total_iterations),
+                               prev_outer_mod, forced_final};
+      checkpoint_save(comm, cfg.checkpoint.dir, graph, orig_to_cur, orig_global_n, st,
+                      fingerprint);
+    }
+
     const double tau = forced_final ? tau_min : cfg.threshold_for_phase(phase);
 
     util::WallTimer phase_timer;
@@ -502,13 +546,18 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
 }
 
 DistResult dist_louvain_inprocess(int nranks, const graph::Csr& global,
-                                  const DistConfig& cfg, graph::PartitionKind kind) {
+                                  const DistConfig& cfg, graph::PartitionKind kind,
+                                  const comm::RunOptions& options,
+                                  std::atomic<int>* phase_progress) {
   DistResult result;
-  comm::run(nranks, [&](comm::Comm& comm) {
-    auto dist = graph::DistGraph::from_replicated(comm, global, kind);
-    auto local_result = dist_louvain(comm, std::move(dist), cfg);
-    if (comm.rank() == 0) result = std::move(local_result);
-  });
+  comm::run(
+      nranks,
+      [&](comm::Comm& comm) {
+        auto dist = graph::DistGraph::from_replicated(comm, global, kind);
+        auto local_result = dist_louvain(comm, std::move(dist), cfg, phase_progress);
+        if (comm.rank() == 0) result = std::move(local_result);
+      },
+      options);
   return result;
 }
 

@@ -9,6 +9,8 @@
 // and a modularity all-reduce; phases end with the distributed rebuild.
 #pragma once
 
+#include <atomic>
+
 #include "comm/comm.hpp"
 #include "core/dist_config.hpp"
 #include "core/telemetry.hpp"
@@ -17,14 +19,22 @@
 namespace dlouvain::core {
 
 /// Run distributed Louvain over `graph` (consumed: coarsening replaces it
-/// phase by phase).
+/// phase by phase). With DistConfig::checkpoint configured, phase-boundary
+/// checkpoints are written (and resumed from) per core/checkpoint.hpp.
+/// `phase_progress`, when non-null, is updated by rank 0 with the index of
+/// each phase as it starts -- the recovery driver's window into how far an
+/// attempt got before it failed.
 DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph,
-                        const DistConfig& config = {});
+                        const DistConfig& config = {},
+                        std::atomic<int>* phase_progress = nullptr);
 
 /// Convenience wrapper for tests/examples: distribute a replicated CSR over
 /// `nranks` in-process ranks and run. Returns the (rank-identical) result.
+/// `options` configures the comm runtime (receive deadline, fault plan).
 DistResult dist_louvain_inprocess(int nranks, const graph::Csr& global,
                                   const DistConfig& config = {},
-                                  graph::PartitionKind kind = graph::PartitionKind::kEvenEdges);
+                                  graph::PartitionKind kind = graph::PartitionKind::kEvenEdges,
+                                  const comm::RunOptions& options = {},
+                                  std::atomic<int>* phase_progress = nullptr);
 
 }  // namespace dlouvain::core

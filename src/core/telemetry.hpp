@@ -82,6 +82,13 @@ struct DistResult {
   std::int64_t messages{0};     ///< global message count (all ranks)
   std::int64_t bytes{0};        ///< global payload bytes (all ranks)
 
+  /// Phase the run was resumed from (DistConfig::checkpoint.resume with a
+  /// valid checkpoint on disk); -1 when the run started fresh. When >= 0,
+  /// phases/total_iterations/phase_telemetry cover the REPLAYED portion plus
+  /// the restored pre-checkpoint counters (telemetry detail of checkpointed
+  /// phases is not persisted).
+  int resumed_from_phase{-1};
+
   /// Populated only when DistConfig::gather_quality is set, and only on rank
   /// 0 (the paper's Section V-D mode): element [ph] is the full
   /// original-vertex community assignment after phase ph, enabling per-phase

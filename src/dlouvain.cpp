@@ -1,5 +1,10 @@
 #include "dlouvain.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "core/checkpoint.hpp"
 #include "louvain/serial.hpp"
 #include "louvain/shared.hpp"
 
@@ -27,6 +32,9 @@ core::DistConfig Plan::dist_config() const {
   cfg.use_coloring = coloring_;
   cfg.record_iterations = record_iterations_;
   cfg.threads_per_rank = threads_;
+  cfg.checkpoint.dir = checkpoint_dir_;
+  cfg.checkpoint.every = checkpoint_every_;
+  cfg.checkpoint.resume = resume_;
   return cfg;
 }
 
@@ -57,14 +65,46 @@ Result Plan::run(const graph::Csr& g) const {
       break;
     }
     case Engine::kDistributed: {
-      auto r = core::dist_louvain_inprocess(ranks_, g, dist_config(), partition_);
-      out.community = r.community;
-      out.modularity = r.modularity;
-      out.num_communities = r.num_communities;
-      out.phases = r.phases;
-      out.total_iterations = r.total_iterations;
-      out.seconds = r.seconds;
-      out.distributed = std::move(r);
+      auto cfg = dist_config();
+
+      comm::RunOptions options;
+      options.timeout_seconds = comm_timeout_;
+      // One injector for all attempts: crash triggers are one-shot, so a
+      // restarted run proceeds past the failure it is recovering from.
+      if (faults_) options.faults = std::make_shared<comm::FaultInjector>(*faults_);
+
+      // Recovery driver: on any detectable communication failure, restart --
+      // from the newest checkpoint when checkpointing is on, from scratch
+      // otherwise -- up to max_restarts_ extra attempts.
+      std::atomic<int> progress{-1};
+      for (int attempt = 0;; ++attempt) {
+        progress.store(-1, std::memory_order_relaxed);
+        try {
+          auto r = core::dist_louvain_inprocess(ranks_, g, cfg, partition_, options,
+                                                &progress);
+          out.recovery.attempts = attempt + 1;
+          out.recovery.resumed_from_phase = r.resumed_from_phase;
+          out.community = r.community;
+          out.modularity = r.modularity;
+          out.num_communities = r.num_communities;
+          out.phases = r.phases;
+          out.total_iterations = r.total_iterations;
+          out.seconds = r.seconds;
+          out.distributed = std::move(r);
+          break;
+        } catch (const comm::CommFailure&) {
+          if (attempt >= max_restarts_) throw;
+          const int next_resume =
+              cfg.checkpoint.dir.empty()
+                  ? 0
+                  : core::checkpoint_latest_phase(cfg.checkpoint.dir).value_or(0);
+          // Phases [next_resume, progress] ran this attempt and will run
+          // again on the next one.
+          out.recovery.phases_replayed +=
+              std::max(0, progress.load(std::memory_order_relaxed) + 1 - next_resume);
+          cfg.checkpoint.resume = !cfg.checkpoint.dir.empty();
+        }
+      }
       break;
     }
   }

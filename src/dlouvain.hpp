@@ -31,8 +31,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "core/dist_config.hpp"
 #include "core/dist_louvain.hpp"
 #include "graph/csr.hpp"
@@ -70,6 +72,15 @@ struct Result {
   std::optional<core::DistResult> distributed;
   /// Full serial/shared result (per-phase stats) otherwise.
   std::optional<louvain::LouvainResult> local;
+
+  /// How the distributed run survived failures (always populated by the
+  /// distributed engine; attempts == 1 means it succeeded first try).
+  struct Recovery {
+    int attempts{1};            ///< runs launched, including the success
+    int phases_replayed{0};     ///< phases re-run across all restarts
+    int resumed_from_phase{-1}; ///< last restart's checkpoint phase, -1 fresh
+  };
+  Recovery recovery;
 };
 
 /// Fluent description of one community-detection run. Start from a named
@@ -128,6 +139,31 @@ class Plan {
   /// Record per-iteration telemetry (distributed engine, Figs. 5-6 series).
   Plan& record_iterations(bool on = true) { record_iterations_ = on; return *this; }
 
+  // -- fault tolerance (distributed engine; see docs/FAULT_TOLERANCE.md) --
+  /// Write phase-boundary checkpoints into `dir` (every `every` phases).
+  Plan& checkpointing(std::string dir, int every = 1) {
+    checkpoint_dir_ = std::move(dir);
+    checkpoint_every_ = every;
+    return *this;
+  }
+  /// Resume from the newest valid checkpoint in `dir` (and keep
+  /// checkpointing there).
+  Plan& resume(std::string dir) {
+    checkpoint_dir_ = std::move(dir);
+    resume_ = true;
+    return *this;
+  }
+  /// Blocked receives throw (with a deadlock diagnostic) after `seconds`
+  /// instead of hanging. <= 0 = wait forever.
+  Plan& comm_timeout(double seconds) { comm_timeout_ = seconds; return *this; }
+  /// Deterministic fault injection (crashes, message delay/duplication/
+  /// corruption) for robustness testing.
+  Plan& inject_faults(comm::FaultPlan plan) { faults_ = std::move(plan); return *this; }
+  /// On a detectable communication failure (crash, timeout, corruption),
+  /// restart up to `n` times -- from the newest checkpoint when
+  /// checkpointing is on, from scratch otherwise. 0 = fail fast.
+  Plan& max_restarts(int n) { max_restarts_ = n; return *this; }
+
   // -- materialized configs (for callers dropping to the raw APIs) --------
   [[nodiscard]] Engine engine() const { return engine_; }
   [[nodiscard]] int num_ranks() const { return ranks_; }
@@ -159,6 +195,12 @@ class Plan {
   bool coloring_{false};
   bool vertex_following_{false};
   bool record_iterations_{true};
+  std::string checkpoint_dir_;
+  int checkpoint_every_{1};
+  bool resume_{false};
+  double comm_timeout_{0};
+  std::optional<comm::FaultPlan> faults_;
+  int max_restarts_{0};
 };
 
 }  // namespace dlouvain

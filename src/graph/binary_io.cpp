@@ -1,17 +1,23 @@
 #include "graph/binary_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/crc32.hpp"
 
 namespace dlouvain::graph {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x444c454c30303031ULL;  // "DLEL0001"
+constexpr std::uint64_t kMagicV1 = 0x444c454c30303031ULL;  // "DLEL0001"
+constexpr std::uint64_t kMagicV2 = 0x444c454c30303032ULL;  // "DLEL0002"
 constexpr std::size_t kHeaderBytes = 3 * 8;
 constexpr std::size_t kRecordBytes = 8 + 8 + 8;
+constexpr std::size_t kFooterBytes = 4;  // u32 CRC, version 2 only
 
 struct PackedRecord {
   std::int64_t src;
@@ -20,6 +26,37 @@ struct PackedRecord {
 };
 static_assert(sizeof(PackedRecord) == kRecordBytes);
 
+void validate_record(const PackedRecord& rec, VertexId num_vertices, EdgeId index,
+                     const std::string& path) {
+  if (rec.src < 0 || rec.src >= num_vertices || rec.dst < 0 || rec.dst >= num_vertices)
+    throw std::runtime_error("read_binary_slice: record " + std::to_string(index) +
+                             " of " + path + " has endpoint out of [0, " +
+                             std::to_string(num_vertices) + "): src=" +
+                             std::to_string(rec.src) + " dst=" + std::to_string(rec.dst));
+  if (!std::isfinite(rec.weight) || rec.weight < 0)
+    throw std::runtime_error("read_binary_slice: record " + std::to_string(index) +
+                             " of " + path + " has invalid weight " +
+                             std::to_string(rec.weight));
+}
+
+/// CRC32 of the first `length` bytes of `path`, streamed in 64 KiB chunks.
+std::uint32_t file_crc(const std::string& path, std::uintmax_t length) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("file_crc: cannot open " + path);
+  util::Crc32 crc;
+  char buffer[64 * 1024];
+  std::uintmax_t remaining = length;
+  while (remaining > 0) {
+    const auto chunk = static_cast<std::streamsize>(
+        std::min<std::uintmax_t>(remaining, sizeof buffer));
+    file.read(buffer, chunk);
+    if (!file) throw std::runtime_error("file_crc: short read on " + path);
+    crc.update(buffer, static_cast<std::size_t>(chunk));
+    remaining -= static_cast<std::uintmax_t>(chunk);
+  }
+  return crc.value();
+}
+
 }  // namespace
 
 void write_binary(const std::string& path, VertexId num_vertices,
@@ -27,17 +64,25 @@ void write_binary(const std::string& path, VertexId num_vertices,
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) throw std::runtime_error("write_binary: cannot open " + path);
 
-  const std::uint64_t magic = kMagic;
+  util::Crc32 crc;
+  const auto put = [&](const void* data, std::size_t size) {
+    file.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    crc.update(data, size);
+  };
+
+  const std::uint64_t magic = kMagicV2;
   const std::int64_t n = num_vertices;
   const std::int64_t m = static_cast<std::int64_t>(undirected_edges.size());
-  file.write(reinterpret_cast<const char*>(&magic), 8);
-  file.write(reinterpret_cast<const char*>(&n), 8);
-  file.write(reinterpret_cast<const char*>(&m), 8);
+  put(&magic, 8);
+  put(&n, 8);
+  put(&m, 8);
 
   for (const Edge& e : undirected_edges) {
     const PackedRecord rec{e.src, e.dst, e.weight};
-    file.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+    put(&rec, sizeof rec);
   }
+  const std::uint32_t footer = crc.value();
+  file.write(reinterpret_cast<const char*>(&footer), kFooterBytes);
   if (!file) throw std::runtime_error("write_binary: write failed for " + path);
 }
 
@@ -50,9 +95,22 @@ BinaryHeader read_binary_header(const std::string& path) {
   file.read(reinterpret_cast<char*>(&magic), 8);
   file.read(reinterpret_cast<char*>(&n), 8);
   file.read(reinterpret_cast<char*>(&m), 8);
-  if (!file || magic != kMagic)
+  if (!file || (magic != kMagicV1 && magic != kMagicV2))
     throw std::runtime_error("read_binary_header: not a DLEL file: " + path);
-  return BinaryHeader{n, m};
+  if (n < 0 || m < 0)
+    throw std::runtime_error("read_binary_header: negative counts in header of " + path);
+
+  const bool has_crc = magic == kMagicV2;
+  const std::uintmax_t expected = kHeaderBytes +
+                                  static_cast<std::uintmax_t>(m) * kRecordBytes +
+                                  (has_crc ? kFooterBytes : 0);
+  std::error_code ec;
+  const std::uintmax_t actual = std::filesystem::file_size(path, ec);
+  if (ec || actual != expected)
+    throw std::runtime_error("read_binary_header: " + path + " is " +
+                             std::to_string(actual) + " bytes but header implies " +
+                             std::to_string(expected) + " (truncated or corrupt)");
+  return BinaryHeader{n, m, has_crc};
 }
 
 std::vector<Edge> read_binary_slice(const std::string& path, EdgeId lo, EdgeId hi) {
@@ -70,9 +128,26 @@ std::vector<Edge> read_binary_slice(const std::string& path, EdgeId lo, EdgeId h
     PackedRecord rec{};
     file.read(reinterpret_cast<char*>(&rec), sizeof rec);
     if (!file) throw std::runtime_error("read_binary_slice: truncated file " + path);
+    validate_record(rec, header.num_vertices, i, path);
     edges.push_back(Edge{rec.src, rec.dst, rec.weight});
   }
   return edges;
+}
+
+bool verify_binary_crc(const std::string& path) {
+  const auto header = read_binary_header(path);
+  if (!header.has_crc) return true;  // version 1: nothing to check
+
+  const std::uintmax_t covered =
+      kHeaderBytes + static_cast<std::uintmax_t>(header.num_edges) * kRecordBytes;
+  const std::uint32_t computed = file_crc(path, covered);
+
+  std::ifstream file(path, std::ios::binary);
+  file.seekg(static_cast<std::streamoff>(covered));
+  std::uint32_t stored = 0;
+  file.read(reinterpret_cast<char*>(&stored), kFooterBytes);
+  if (!file) throw std::runtime_error("verify_binary_crc: cannot read footer of " + path);
+  return stored == computed;
 }
 
 void write_distributed(comm::Comm& comm, const DistGraph& g, const std::string& path) {
@@ -96,7 +171,7 @@ void write_distributed(comm::Comm& comm, const DistGraph& g, const std::string& 
   if (comm.rank() == 0) {
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     if (!file) throw std::runtime_error("write_distributed: cannot create " + path);
-    const std::uint64_t magic = kMagic;
+    const std::uint64_t magic = kMagicV2;
     const std::int64_t n = g.global_n();
     const std::int64_t m = total;
     file.write(reinterpret_cast<const char*>(&magic), 8);
@@ -115,10 +190,42 @@ void write_distributed(comm::Comm& comm, const DistGraph& g, const std::string& 
   }
   file.flush();
   if (!file) throw std::runtime_error("write_distributed: write failed for " + path);
-  comm.barrier();  // file complete before any rank returns
+  file.close();
+  comm.barrier();  // every slice on disk before the footer is computed
+
+  if (comm.rank() == 0) {
+    // Seal with the whole-file CRC: one sequential re-read by rank 0, the
+    // same role MPI-I/O gives the root when finalising a shared file.
+    const std::uintmax_t covered =
+        kHeaderBytes + static_cast<std::uintmax_t>(total) * kRecordBytes;
+    const std::uint32_t footer = file_crc(path, covered);
+    std::fstream seal(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!seal) throw std::runtime_error("write_distributed: cannot reopen " + path);
+    seal.seekp(static_cast<std::streamoff>(covered));
+    seal.write(reinterpret_cast<const char*>(&footer), kFooterBytes);
+    seal.flush();
+    if (!seal) throw std::runtime_error("write_distributed: footer write failed for " + path);
+  }
+  comm.barrier();  // file complete (and sealed) before any rank returns
 }
 
 DistGraph load_distributed(comm::Comm& comm, const std::string& path, PartitionKind kind) {
+  // Rank 0 verifies the whole-file checksum once; everyone agrees on the
+  // verdict before any record is trusted, so a corrupt file fails the job
+  // collectively instead of desynchronising it.
+  std::uint8_t crc_ok = 1;
+  if (comm.rank() == 0) {
+    try {
+      crc_ok = verify_binary_crc(path) ? 1 : 0;
+    } catch (const std::exception&) {
+      crc_ok = 0;
+    }
+  }
+  crc_ok = comm.broadcast(std::vector<std::uint8_t>{crc_ok}).front();
+  if (crc_ok == 0)
+    throw std::runtime_error("load_distributed: " + path +
+                             " failed its CRC32 check (corrupt or unreadable)");
+
   const auto header = read_binary_header(path);
   const int p = comm.size();
   const Rank r = comm.rank();
@@ -138,6 +245,7 @@ DistGraph load_distributed(comm::Comm& comm, const std::string& path, PartitionK
     // ranks, and cut where cumulative degree crosses each 1/p quantile.
     // (Dense n-length counting is fine at simulator scale; a production MPI
     // build would shard this, but the resulting partition is identical.)
+    // read_binary_slice validated every endpoint, so the indexing is safe.
     std::vector<EdgeId> degree(static_cast<std::size_t>(header.num_vertices), 0);
     for (const Edge& e : slice) {
       ++degree[static_cast<std::size_t>(e.src)];

@@ -1,0 +1,65 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) -- the integrity check shared by
+// the message-passing runtime (per-message payload checksums), the .dlel
+// binary graph format's footer, and the checkpoint files. Table-driven,
+// constexpr-initialised, no dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dlouvain::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC32. Feed bytes in any chunking; `value()` is the standard
+/// (final-xor applied) checksum of everything fed so far.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < size; ++i)
+      c = detail::kCrc32Table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    state_ = c;
+  }
+
+  void update(std::span<const std::byte> data) noexcept {
+    update(data.data(), data.size());
+  }
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_{0xffffffffu};
+};
+
+/// One-shot CRC32 of a byte span.
+inline std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace dlouvain::util

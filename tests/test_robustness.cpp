@@ -7,10 +7,15 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <string>
 
 #include "comm/comm.hpp"
+#include "comm/fault.hpp"
 #include "comm/world.hpp"
+#include "core/checkpoint.hpp"
 #include "core/dist_louvain.hpp"
+#include "dlouvain.hpp"
 #include "gen/lfr.hpp"
 #include "gen/rmat.hpp"
 #include "gen/simple.hpp"
@@ -337,4 +342,298 @@ TEST(Resolution, SharedRespectsGamma) {
   const auto fine = dl::louvain_shared(g, hi);
   const auto plain = dl::louvain_shared(g, {});
   EXPECT_GT(fine.num_communities, plain.num_communities);
+}
+
+// ---- Fault tolerance: checkpoints, crash recovery, fault sweeps ----------------
+
+namespace {
+
+/// A fresh (removed-if-existing) scratch directory under the system tmpdir.
+std::filesystem::path fresh_dir(const std::string& name) {
+  auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(Checkpoint, KilledAndResumedRunIsBitwiseIdentical) {
+  // The ISSUE's acceptance bar: for EVERY phase k, kill a rank at phase k,
+  // recover from the last checkpoint, and land on bit-identical communities
+  // and modularity versus the uninterrupted run.
+  const auto g = make_lfr_graph();
+  const int p = 3;
+  const auto reference = dlouvain::Plan::distributed(p).run(g);
+  ASSERT_GE(reference.phases, 2) << "fixture must run multiple phases";
+
+  for (int k = 0; k < reference.phases; ++k) {
+    const auto dir = fresh_dir("dl_ckpt_kill_at_" + std::to_string(k));
+    const auto result = dlouvain::Plan::distributed(p)
+                            .checkpointing(dir.string())
+                            .inject_faults(dc::FaultPlan().crash(1, k))
+                            .max_restarts(1)
+                            .run(g);
+    EXPECT_EQ(result.community, reference.community) << "killed at phase " << k;
+    EXPECT_EQ(result.modularity, reference.modularity) << "killed at phase " << k;
+    EXPECT_EQ(result.phases, reference.phases) << "killed at phase " << k;
+    EXPECT_EQ(result.recovery.attempts, 2) << "killed at phase " << k;
+    // Phase 0 has no checkpoint yet (fresh restart); later kills resume from
+    // the checkpoint taken at the killed phase's boundary.
+    EXPECT_EQ(result.recovery.resumed_from_phase, k == 0 ? -1 : k)
+        << "killed at phase " << k;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Checkpoint, SparseCadenceReplaysInterveningPhases) {
+  const auto g = make_lfr_graph();
+  const int p = 2;
+  const auto reference = dlouvain::Plan::distributed(p).run(g);
+  ASSERT_GE(reference.phases, 3);
+
+  // Checkpoint every 2 phases, kill at phase 2 (a checkpoint boundary) and
+  // at phase 3 (not one: recovery replays phase 2 as well).
+  for (const int k : {2, 3}) {
+    if (k >= reference.phases) continue;
+    const auto dir = fresh_dir("dl_ckpt_sparse_" + std::to_string(k));
+    const auto result = dlouvain::Plan::distributed(p)
+                            .checkpointing(dir.string(), /*every=*/2)
+                            .inject_faults(dc::FaultPlan().crash(0, k))
+                            .max_restarts(1)
+                            .run(g);
+    EXPECT_EQ(result.community, reference.community) << "killed at phase " << k;
+    EXPECT_EQ(result.modularity, reference.modularity) << "killed at phase " << k;
+    EXPECT_EQ(result.recovery.resumed_from_phase, 2) << "killed at phase " << k;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Checkpoint, ResumeAtDifferentRankCount) {
+  // Kill a 4-rank job with no restarts budgeted; resume the SAME checkpoint
+  // directory on 2 ranks. Cross-p bitwise identity is out of scope (sweep
+  // orders are partition-keyed) but the result must be a valid clustering
+  // with exact bookkeeping in the reference quality band.
+  const auto g = make_ssca2_graph();
+  const auto reference = dlouvain::Plan::distributed(4).run(g);
+  ASSERT_GE(reference.phases, 2);
+
+  const auto dir = fresh_dir("dl_ckpt_rescale");
+  EXPECT_THROW((void)dlouvain::Plan::distributed(4)
+                   .checkpointing(dir.string())
+                   .inject_faults(dc::FaultPlan().crash(2, 1))
+                   .run(g),
+               dc::RankCrashed);
+
+  const auto resumed = dlouvain::Plan::distributed(2).resume(dir.string()).run(g);
+  EXPECT_EQ(resumed.recovery.resumed_from_phase, 1);
+  EXPECT_NEAR(resumed.modularity, dl::modularity(g, resumed.community), 1e-9);
+  EXPECT_GT(resumed.modularity, reference.modularity - 0.05);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, ConfigMismatchIsRejected) {
+  const auto g = make_banded_graph();
+  const auto dir = fresh_dir("dl_ckpt_mismatch");
+  const auto first =
+      dlouvain::Plan::distributed(2).checkpointing(dir.string()).run(g);
+  ASSERT_GE(first.phases, 2) << "no checkpoint was ever written";
+
+  // Same directory, different seed: resuming would silently mix two
+  // incompatible trajectories, so it must refuse loudly.
+  EXPECT_THROW(
+      (void)dlouvain::Plan::distributed(2).seed(1234).resume(dir.string()).run(g),
+      std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, CorruptCheckpointFallsBackToFreshStart) {
+  const auto g = make_banded_graph();
+  const auto reference = dlouvain::Plan::distributed(2).run(g);
+  const auto dir = fresh_dir("dl_ckpt_corrupt");
+  (void)dlouvain::Plan::distributed(2).checkpointing(dir.string()).run(g);
+  const auto latest = core::checkpoint_latest_phase(dir.string());
+  ASSERT_TRUE(latest.has_value());
+
+  // Flip one byte in the committed meta record: the CRC must reject it and
+  // the resume must degrade to a fresh (still-correct) run.
+  const auto meta_path =
+      dir / ("phase_" + std::to_string(*latest)) / "meta.bin";
+  {
+    std::fstream f(meta_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(12);
+    char byte = 0;
+    f.seekg(12);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(12);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(core::checkpoint_latest_phase(dir.string()).has_value());
+
+  const auto resumed = dlouvain::Plan::distributed(2).resume(dir.string()).run(g);
+  EXPECT_EQ(resumed.recovery.resumed_from_phase, -1);  // fresh start
+  EXPECT_EQ(resumed.community, reference.community);
+  EXPECT_EQ(resumed.modularity, reference.modularity);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultSweep, CrashEachRankAtEachPhaseRecoversBitwise) {
+  // Exhaustive small sweep: every rank x every phase, with checkpointing and
+  // one restart budgeted. Each scenario must converge to the reference bits.
+  const auto g = make_banded_graph();
+  const int p = 3;
+  const auto reference = dlouvain::Plan::distributed(p).run(g);
+  ASSERT_GE(reference.phases, 2);
+  const int phases_to_test = std::min(reference.phases, 3);
+
+  for (int rank = 0; rank < p; ++rank) {
+    for (int phase = 0; phase < phases_to_test; ++phase) {
+      const auto dir = fresh_dir("dl_sweep_r" + std::to_string(rank) + "_ph" +
+                                 std::to_string(phase));
+      const auto result = dlouvain::Plan::distributed(p)
+                              .checkpointing(dir.string())
+                              .inject_faults(dc::FaultPlan().crash(rank, phase))
+                              .max_restarts(1)
+                              .run(g);
+      EXPECT_EQ(result.community, reference.community)
+          << "rank " << rank << " killed at phase " << phase;
+      EXPECT_EQ(result.modularity, reference.modularity)
+          << "rank " << rank << " killed at phase " << phase;
+      EXPECT_EQ(result.recovery.attempts, 2)
+          << "rank " << rank << " killed at phase " << phase;
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+TEST(FaultSweep, RestartWithoutCheckpointingStillRecovers) {
+  // No checkpoint dir: recovery degrades to a full restart, which the
+  // one-shot crash trigger lets succeed.
+  const auto g = make_banded_graph();
+  const auto reference = dlouvain::Plan::distributed(2).run(g);
+  const auto result = dlouvain::Plan::distributed(2)
+                          .inject_faults(dc::FaultPlan().crash(1, 1))
+                          .max_restarts(1)
+                          .run(g);
+  EXPECT_EQ(result.community, reference.community);
+  EXPECT_EQ(result.modularity, reference.modularity);
+  EXPECT_EQ(result.recovery.attempts, 2);
+  EXPECT_EQ(result.recovery.resumed_from_phase, -1);
+}
+
+TEST(FaultSweep, ExhaustedRestartBudgetRethrows) {
+  const auto g = make_banded_graph();
+  EXPECT_THROW((void)dlouvain::Plan::distributed(2)
+                   .inject_faults(
+                       dc::FaultPlan().crash(0, 0).crash(0, 0, 1).crash(1, 0))
+                   .max_restarts(0)
+                   .run(g),
+               dc::RankCrashed);
+}
+
+TEST(FaultSweep, LouvainSurvivesMessageDuplicationAndDelay) {
+  // Full algorithm under a noisy wire: every result bit must match the
+  // clean run (duplicates absorbed by seq numbers, delays by FIFO waits).
+  const auto g = make_banded_graph();
+  const auto reference = dlouvain::Plan::distributed(3).run(g);
+  const auto noisy = dlouvain::Plan::distributed(3)
+                         .inject_faults(dc::FaultPlan()
+                                            .with_seed(5)
+                                            .duplicate(0.05)
+                                            .delay(0.02, 0.5))
+                         .run(g);
+  EXPECT_EQ(noisy.community, reference.community);
+  EXPECT_EQ(noisy.modularity, reference.modularity);
+}
+
+// ---- Hardened binary I/O -------------------------------------------------------
+
+TEST(BinaryIo, RejectsOutOfRangeEndpoints) {
+  const auto path = std::filesystem::temp_directory_path() / "dl_bad_endpoint.dlel";
+  // Declare 4 vertices but smuggle in an edge to vertex 9 -- the payload
+  // that used to drive an out-of-bounds write through the degree counters.
+  dg::write_binary(path.string(), 10, {{0, 9, 1.0}, {1, 2, 1.0}});
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::int64_t n = 4;
+    f.write(reinterpret_cast<const char*>(&n), 8);
+  }
+  // The header edit invalidates the CRC too; check the record validator
+  // alone by probing the slice reader (header still parses: n=4, m=2).
+  EXPECT_THROW((void)dg::read_binary_slice(path.string(), 0, 2), std::runtime_error);
+  EXPECT_FALSE(dg::verify_binary_crc(path.string()));
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, RejectsNonFiniteAndNegativeWeights) {
+  const auto path = std::filesystem::temp_directory_path() / "dl_bad_weight.dlel";
+  for (const double w : {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(), -1.0}) {
+    dg::write_binary(path.string(), 4, {{0, 1, w}});
+    EXPECT_THROW((void)dg::read_binary_slice(path.string(), 0, 1), std::runtime_error)
+        << "weight " << w;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, CrcFooterDetectsBitRot) {
+  const auto path = std::filesystem::temp_directory_path() / "dl_bitrot.dlel";
+  dg::write_binary(path.string(), 6, {{0, 1, 1.0}, {2, 3, 1.0}, {4, 5, 1.0}});
+  EXPECT_TRUE(dg::verify_binary_crc(path.string()));
+
+  // Flip one bit in the middle of a record: header still parses, size still
+  // matches, but the CRC must catch it.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(dg::verify_binary_crc(path.string()));
+  EXPECT_THROW(dc::run(2,
+                       [&](dc::Comm& comm) {
+                         (void)dg::load_distributed(comm, path.string());
+                       }),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, VersionOneFilesRemainReadable) {
+  // Hand-write a v1 file (no footer): header + records with the old magic.
+  const auto path = std::filesystem::temp_directory_path() / "dl_v1.dlel";
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    const std::uint64_t magic = 0x444c454c30303031ULL;  // "DLEL0001"
+    const std::int64_t n = 3, m = 2;
+    f.write(reinterpret_cast<const char*>(&magic), 8);
+    f.write(reinterpret_cast<const char*>(&n), 8);
+    f.write(reinterpret_cast<const char*>(&m), 8);
+    const struct { std::int64_t s, d; double w; } recs[2] = {{0, 1, 1.0}, {1, 2, 2.0}};
+    f.write(reinterpret_cast<const char*>(recs), sizeof recs);
+  }
+  const auto header = dg::read_binary_header(path.string());
+  EXPECT_EQ(header.num_vertices, 3);
+  EXPECT_EQ(header.num_edges, 2);
+  EXPECT_FALSE(header.has_crc);
+  EXPECT_TRUE(dg::verify_binary_crc(path.string()));  // nothing to verify
+  const auto edges = dg::read_binary_slice(path.string(), 0, 2);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[1].weight, 2.0);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, WriteDistributedSealsAVerifiableFile) {
+  const auto path = std::filesystem::temp_directory_path() / "dl_dist_sealed.dlel";
+  const auto g = make_banded_graph();
+  dc::run(3, [&](dc::Comm& comm) {
+    auto dist = dg::DistGraph::from_replicated(comm, g);
+    dg::write_distributed(comm, dist, path.string());
+  });
+  EXPECT_TRUE(dg::read_binary_header(path.string()).has_crc);
+  EXPECT_TRUE(dg::verify_binary_crc(path.string()));
+  std::filesystem::remove(path);
 }

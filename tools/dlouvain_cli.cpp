@@ -13,11 +13,26 @@
 //   --output <file>                write "vertex community" lines
 //   --stats                        print degree/component statistics first
 //
+// fault tolerance (see docs/FAULT_TOLERANCE.md):
+//   --comm-timeout <s>             deadline for blocked receives (deadlock
+//                                  diagnostic instead of a hang)
+//   --checkpoint-dir <dir>         write phase-boundary checkpoints
+//   --checkpoint-every <k>         checkpoint cadence in phases (default 1)
+//   --resume                       resume from the newest checkpoint in
+//                                  --checkpoint-dir
+//   --max-restarts <n>             restart attempts on comm failure (default 3)
+//   --crash r:ph[:it][,...]        inject deterministic rank crashes
+//
 // Examples:
 //   dlouvain_cli --generate soc-friendster --variant etc --alpha 0.25
 //   dlouvain_cli --input graph.dlel --ranks 8 --threads 4 --output communities.txt
+//   dlouvain_cli --generate lfr-b --checkpoint-dir ckpt --crash 1:2 --max-restarts 3
+#include <charconv>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 
 #include "comm/world.hpp"
 #include "core/components.hpp"
@@ -30,7 +45,43 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+/// Parse "--crash r:ph[:it],r:ph[:it],..." into a FaultPlan.
+dlouvain::comm::FaultPlan parse_crashes(const std::string& spec) {
+  dlouvain::comm::FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    int fields[3] = {0, 0, 0};
+    int count = 0;
+    std::size_t field_pos = 0;
+    while (field_pos <= entry.size() && count < 3) {
+      const std::size_t colon = entry.find(':', field_pos);
+      const std::string token = entry.substr(
+          field_pos, colon == std::string::npos ? std::string::npos : colon - field_pos);
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), fields[count]);
+      if (ec != std::errc{} || ptr != token.data() + token.size())
+        throw std::runtime_error("bad --crash entry '" + entry +
+                                 "' (expected rank:phase[:iteration])");
+      ++count;
+      if (colon == std::string::npos) break;
+      field_pos = colon + 1;
+    }
+    if (count < 2)
+      throw std::runtime_error("bad --crash entry '" + entry +
+                               "' (expected rank:phase[:iteration])");
+    plan.crash(fields[0], fields[1], fields[2]);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return plan;
+}
+
+int run_cli(int argc, char** argv) {
   using namespace dlouvain;
 
   util::Cli cli(argc, argv);
@@ -47,10 +98,30 @@ int main(int argc, char** argv) {
   const bool stats = cli.get_flag("stats", false, "print graph statistics first");
   const int summary = static_cast<int>(
       cli.get_int("summary", 0, "print the N largest communities' summaries"));
+  const double comm_timeout =
+      cli.get_double("comm-timeout", 0, "deadline (s) for blocked receives");
+  const auto checkpoint_dir =
+      cli.get_string("checkpoint-dir", "", "phase-boundary checkpoint directory");
+  const int checkpoint_every = static_cast<int>(
+      cli.get_int("checkpoint-every", 1, "checkpoint cadence in phases"));
+  const bool resume =
+      cli.get_flag("resume", false, "resume from the newest checkpoint");
+  const int max_restarts = static_cast<int>(
+      cli.get_int("max-restarts", 3, "restart attempts on comm failure"));
+  const auto crash_spec =
+      cli.get_string("crash", "", "inject rank crashes: r:ph[:it][,...]");
   if (!cli.finish()) return 1;
 
   if (input.empty() == generate.empty()) {
     std::cerr << "dlouvain: pass exactly one of --input or --generate\n";
+    return 1;
+  }
+  if (!input.empty() && !std::filesystem::exists(input)) {
+    std::cerr << "dlouvain: input file '" << input << "' does not exist\n";
+    return 1;
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "dlouvain: --resume requires --checkpoint-dir\n";
     return 1;
   }
 
@@ -61,6 +132,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Fail on an unwritable output path BEFORE spending minutes computing.
+  if (!output.empty()) {
+    std::ofstream probe(output, std::ios::app);
+    if (!probe) {
+      std::cerr << "dlouvain: cannot open " << output << " for writing\n";
+      return 1;
+    }
+  }
+
   util::WallTimer timer;
 
   // Materialize the graph exactly ONCE, as a replicated CSR -- the CLI's
@@ -69,6 +149,10 @@ int main(int argc, char** argv) {
   // instead of re-reading or re-generating.
   graph::Csr csr;
   if (!input.empty()) {
+    if (!graph::verify_binary_crc(input)) {
+      std::cerr << "dlouvain: " << input << " failed its CRC32 check (corrupt file)\n";
+      return 1;
+    }
     const auto header = graph::read_binary_header(input);
     csr = graph::from_edges(header.num_vertices,
                             graph::read_binary_slice(input, 0, header.num_edges));
@@ -86,11 +170,16 @@ int main(int argc, char** argv) {
     });
   }
 
-  const auto plan = Plan::distributed(ranks)
-                        .threads(threads)
-                        .variant(*variant)
-                        .alpha(alpha)
-                        .coloring(coloring);
+  auto plan = Plan::distributed(ranks)
+                  .threads(threads)
+                  .variant(*variant)
+                  .alpha(alpha)
+                  .coloring(coloring)
+                  .comm_timeout(comm_timeout)
+                  .max_restarts(max_restarts);
+  if (!checkpoint_dir.empty()) plan.checkpointing(checkpoint_dir, checkpoint_every);
+  if (resume) plan.resume(checkpoint_dir);
+  if (!crash_spec.empty()) plan.inject_faults(parse_crashes(crash_spec));
   const auto result = plan.run(csr);
 
   std::cout << "graph:        " << csr.num_vertices() << " vertices, "
@@ -109,6 +198,13 @@ int main(int argc, char** argv) {
             << "wall time:    " << util::TextTable::fmt(timer.seconds(), 3) << " s\n"
             << "traffic:      " << result.distributed->messages << " messages, "
             << result.distributed->bytes << " bytes\n";
+  if (result.recovery.attempts > 1 || result.recovery.resumed_from_phase >= 0) {
+    std::cout << "recovery:     " << result.recovery.attempts << " attempt(s), "
+              << result.recovery.phases_replayed << " phase(s) replayed";
+    if (result.recovery.resumed_from_phase >= 0)
+      std::cout << ", resumed from phase " << result.recovery.resumed_from_phase;
+    std::cout << '\n';
+  }
 
   if (summary > 0) {
     const auto summaries = quality::summarize_communities(csr, result.community);
@@ -129,7 +225,7 @@ int main(int argc, char** argv) {
   }
 
   if (!output.empty()) {
-    std::ofstream out(output);
+    std::ofstream out(output, std::ios::trunc);
     if (!out) {
       std::cerr << "dlouvain: cannot open " << output << " for writing\n";
       return 1;
@@ -139,4 +235,15 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << output << '\n';
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "dlouvain: " << e.what() << '\n';
+    return 1;
+  }
 }
