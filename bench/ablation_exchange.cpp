@@ -1,8 +1,12 @@
-// Ablation for the ghost-exchange topology: sparse neighbourhood collective
-// (the paper's planned MPI-3 upgrade, Section VI) vs dense all-to-all.
-// Payload bytes are identical; the sparse path sends O(sum of rank degrees)
-// messages instead of O(p^2) per exchange, which matters most on spatially
-// local graphs (banded meshes) where each rank borders only two others.
+// Ablation for the ghost exchange along both of its axes:
+//  * topology -- sparse neighbourhood collective (the paper's planned MPI-3
+//    upgrade, Section VI) vs dense all-to-all. Payload bytes are identical;
+//    the sparse path sends O(sum of rank degrees) messages instead of
+//    O(p^2) per exchange, which matters most on spatially local graphs
+//    (banded meshes) where each rank borders only two others.
+//  * wire format -- full mirror lists (dense) vs changed-entries-only
+//    (delta) vs the per-destination crossover pick (auto; the default).
+//    Results are bitwise identical in every mode; only bytes move.
 #include <iostream>
 
 #include "bench/harness.hpp"
@@ -63,5 +67,52 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+
+  bench::banner("Ablation: ghost-update wire format (dense / delta / auto)",
+                "changed-entries-only updates once most vertices stop moving",
+                "total traffic for full Louvain runs, surrogates at scale " +
+                    util::TextTable::fmt(scale, 2));
+
+  util::TextTable wire({"graph", "ranks", "mode", "bytes", "vs dense", "modularity"});
+  for (const std::string name : {"channel", "soc-friendster"}) {
+    const auto csr = bench::surrogate_csr(name, scale);
+    for (const auto p : rank_list) {
+      std::int64_t dense_bytes = 0;
+      double dense_mod = 0;
+      for (const auto mode :
+           {core::GhostExchangeMode::kDense, core::GhostExchangeMode::kDelta,
+            core::GhostExchangeMode::kAuto}) {
+        core::DistConfig cfg;
+        cfg.ghost_exchange_mode = mode;
+        std::int64_t bytes = 0;
+        double modularity = 0;
+        comm::run(static_cast<int>(p), [&](comm::Comm& comm) {
+          auto dist = graph::DistGraph::from_replicated(comm, csr);
+          auto result = core::dist_louvain(comm, std::move(dist), cfg);
+          if (comm.is_root()) {
+            bytes = result.bytes;
+            modularity = result.modularity;
+          }
+        });
+        if (mode == core::GhostExchangeMode::kDense) {
+          dense_bytes = bytes;
+          dense_mod = modularity;
+        } else if (modularity != dense_mod) {
+          std::cerr << "MODE MISMATCH: " << name << " p=" << p << " "
+                    << core::exchange_mode_label(mode) << " modularity diverged\n";
+          return 1;
+        }
+        wire.add_row({name, util::TextTable::fmt(p),
+                      core::exchange_mode_label(mode),
+                      util::TextTable::fmt(bytes),
+                      util::TextTable::fmt(100.0 * static_cast<double>(bytes) /
+                                               static_cast<double>(dense_bytes),
+                                           1) +
+                          "%",
+                      util::TextTable::fmt(modularity, 6)});
+      }
+    }
+  }
+  wire.print(std::cout);
   return 0;
 }

@@ -1,17 +1,36 @@
 // Micro-benchmarks for the algorithmic kernels: CSR assembly, modularity
-// evaluation, one Louvain sweep, coarsening, and the generators feeding the
-// table harnesses.
+// evaluation, one Louvain sweep (hash-map baseline vs the flat
+// ScatterAccumulator kernel the engines use), coarsening, and the generators
+// feeding the table harnesses.
+//
+// Besides the usual Google-Benchmark mode, `--pr3_json=<path>` switches to a
+// self-timed run that writes the machine-readable perf trail committed as
+// BENCH_PR3.json: per-kernel ns/op plus a distributed run's sweep time
+// breakdown (see docs/PERFORMANCE.md). Knobs: `--pr3_scale=N` (RMAT scale,
+// default 16), `--pr3_reps=N` (best-of repetitions, default 5),
+// `--pr3_dist_scale=N` (RMAT scale for the breakdown run, default 12).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "comm/world.hpp"
+#include "core/dist_louvain.hpp"
 #include "gen/lfr.hpp"
+#include "gen/rmat.hpp"
 #include "gen/ssca2.hpp"
 #include "graph/csr.hpp"
 #include "louvain/coarsen.hpp"
 #include "louvain/modularity.hpp"
 #include "louvain/serial.hpp"
 #include "louvain/shared.hpp"
+#include "util/scatter.hpp"
 
 namespace {
 
@@ -23,6 +42,141 @@ gen::GeneratedGraph bench_graph(std::int64_t n) {
   p.max_clique_size = 25;
   p.inter_clique_prob = 0.01;
   return gen::ssca2(p);
+}
+
+gen::GeneratedGraph rmat_graph(int scale) {
+  gen::RmatParams p;
+  p.scale = scale;
+  p.edges_per_vertex = 8;
+  p.seed = 42;
+  return gen::rmat(p);
+}
+
+// ---- one local-move sweep, hash baseline vs flat kernel ---------------------
+// Both run the identical single-node sweep (the seed's serial inner loop):
+// scan every vertex, accumulate neighbour-community weights, move to the
+// best-gain community. The hash variant is the pre-PR3 unordered_map kernel,
+// kept verbatim as the comparison baseline; the flat variant is the
+// ScatterAccumulator kernel serial.cpp/shared.cpp/dist_louvain.cpp now use.
+// Their outputs are identical (the argmax predicate is iteration-order
+// independent), so `moved` doubles as a cross-check.
+
+struct SweepInput {
+  graph::Csr csr;
+  std::vector<Weight> k;           ///< weighted degree per vertex
+  std::vector<Weight> a_init;      ///< initial community degrees (= k)
+  Weight m{0};                     ///< total edge weight
+};
+
+SweepInput make_sweep_input(const gen::GeneratedGraph& g) {
+  SweepInput in;
+  in.csr = graph::from_edges(g.num_vertices, g.edges);
+  const auto n = static_cast<std::size_t>(in.csr.num_vertices());
+  in.k.resize(n);
+  for (VertexId v = 0; v < in.csr.num_vertices(); ++v)
+    in.k[static_cast<std::size_t>(v)] = in.csr.weighted_degree(v);
+  in.a_init = in.k;
+  in.m = in.csr.total_arc_weight() / 2;
+  return in;
+}
+
+std::int64_t sweep_hash(const SweepInput& in, std::vector<CommunityId>& curr,
+                        std::vector<Weight>& a) {
+  const VertexId n = in.csr.num_vertices();
+  const Weight m = in.m;
+  std::unordered_map<CommunityId, Weight> nbr_weight;
+  std::int64_t moved = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const CommunityId own = curr[static_cast<std::size_t>(v)];
+    const Weight kv = in.k[static_cast<std::size_t>(v)];
+    nbr_weight.clear();
+    for (const auto& e : in.csr.neighbors(v)) {
+      if (e.dst == v) continue;
+      nbr_weight[curr[static_cast<std::size_t>(e.dst)]] += e.weight;
+    }
+    const auto own_it = nbr_weight.find(own);
+    const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+    const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
+    CommunityId best = own;
+    Weight best_gain = 0;
+    for (const auto& [target, e_target] : nbr_weight) {
+      if (target == own) continue;
+      const Weight gain =
+          (e_target - e_own) / m -
+          kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) / (2 * m * m);
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best != own && target < best)) {
+        best = target;
+        best_gain = gain;
+      }
+    }
+    if (best != own) {
+      a[static_cast<std::size_t>(own)] -= kv;
+      a[static_cast<std::size_t>(best)] += kv;
+      curr[static_cast<std::size_t>(v)] = best;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::int64_t sweep_flat(const SweepInput& in, std::vector<CommunityId>& curr,
+                        std::vector<Weight>& a) {
+  const VertexId n = in.csr.num_vertices();
+  const Weight m = in.m;
+  util::ScatterAccumulator<Weight> nbr_weight;
+  std::int64_t moved = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const CommunityId own = curr[static_cast<std::size_t>(v)];
+    const Weight kv = in.k[static_cast<std::size_t>(v)];
+    nbr_weight.reset(n);
+    for (const auto& e : in.csr.neighbors(v)) {
+      if (e.dst == v) continue;
+      nbr_weight.add(curr[static_cast<std::size_t>(e.dst)], e.weight);
+    }
+    const Weight e_own = nbr_weight.get(own);
+    const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
+    CommunityId best = own;
+    Weight best_gain = 0;
+    for (const auto target : nbr_weight.touched()) {
+      if (target == own) continue;
+      const Weight e_target = nbr_weight.get(target);
+      const Weight gain =
+          (e_target - e_own) / m -
+          kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) / (2 * m * m);
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best != own && target < best)) {
+        best = target;
+        best_gain = gain;
+      }
+    }
+    if (best != own) {
+      a[static_cast<std::size_t>(own)] -= kv;
+      a[static_cast<std::size_t>(best)] += kv;
+      curr[static_cast<std::size_t>(v)] = best;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+template <typename Sweep>
+std::int64_t timed_sweep(const SweepInput& in, Sweep&& sweep, int reps,
+                         double& best_ns) {
+  std::vector<CommunityId> curr(in.k.size());
+  std::vector<Weight> a;
+  std::int64_t moved = 0;
+  best_ns = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    const auto t0 = std::chrono::steady_clock::now();
+    moved = sweep(in, curr, a);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (ns < best_ns) best_ns = ns;
+  }
+  return moved;
 }
 
 void BM_CsrBuild(benchmark::State& state) {
@@ -99,6 +253,152 @@ void BM_GenSsca2(benchmark::State& state) {
 }
 BENCHMARK(BM_GenSsca2)->Arg(1000)->Arg(4000)->Arg(16000);
 
+void BM_LocalMoveSweepHash(benchmark::State& state) {
+  const auto in = make_sweep_input(rmat_graph(static_cast<int>(state.range(0))));
+  std::vector<CommunityId> curr(in.k.size());
+  std::vector<Weight> a;
+  for (auto _ : state) {
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    benchmark::DoNotOptimize(sweep_hash(in, curr, a));
+  }
+  state.SetItemsProcessed(state.iterations() * in.csr.num_arcs());
+}
+BENCHMARK(BM_LocalMoveSweepHash)->Arg(10)->Arg(12);
+
+void BM_LocalMoveSweepFlat(benchmark::State& state) {
+  const auto in = make_sweep_input(rmat_graph(static_cast<int>(state.range(0))));
+  std::vector<CommunityId> curr(in.k.size());
+  std::vector<Weight> a;
+  for (auto _ : state) {
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    benchmark::DoNotOptimize(sweep_flat(in, curr, a));
+  }
+  state.SetItemsProcessed(state.iterations() * in.csr.num_arcs());
+}
+BENCHMARK(BM_LocalMoveSweepFlat)->Arg(10)->Arg(12);
+
+// ---- the BENCH_PR3.json emitter ---------------------------------------------
+
+int run_pr3(const std::string& json_path, int scale, int reps, int dist_scale) {
+  const auto g = rmat_graph(scale);
+  const auto in = make_sweep_input(g);
+  const auto arcs = static_cast<double>(in.csr.num_arcs());
+
+  double hash_ns = 0;
+  const auto hash_moved = timed_sweep(in, sweep_hash, reps, hash_ns);
+  double flat_ns = 0;
+  const auto flat_moved = timed_sweep(in, sweep_flat, reps, flat_ns);
+  if (hash_moved != flat_moved) {
+    std::cerr << "micro_kernels: hash and flat sweeps diverged (" << hash_moved
+              << " vs " << flat_moved << " moves)\n";
+    return 1;
+  }
+
+  double coarsen_ns = 1e300;
+  {
+    // Coarsen by the sweep's resulting assignment (compacted ids).
+    std::vector<CommunityId> curr(in.k.size());
+    std::vector<Weight> a;
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    sweep_flat(in, curr, a);
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto coarse = louvain::coarsen(in.csr, curr);
+      benchmark::DoNotOptimize(coarse);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+      if (ns < coarsen_ns) coarsen_ns = ns;
+    }
+  }
+
+  // Distributed sweep breakdown (the telemetry split behind the paper's
+  // Section V-A analysis), from a default-config run at a smaller scale.
+  const auto gd = rmat_graph(dist_scale);
+  const auto csrd = graph::from_edges(gd.num_vertices, gd.edges);
+  core::TimeBreakdown breakdown;
+  double dist_seconds = 0;
+  comm::run(4, [&](comm::Comm& comm) {
+    auto dist = graph::DistGraph::from_replicated(comm, csrd);
+    core::DistConfig cfg;
+    auto result = core::dist_louvain(comm, std::move(dist), cfg);
+    if (comm.is_root()) {
+      breakdown = result.breakdown;
+      dist_seconds = result.seconds;
+    }
+  });
+
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "micro_kernels: cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  out.precision(17);
+  out << "{\n"
+      << "  \"bench\": \"micro_kernels.pr3\",\n"
+      << "  \"graph\": {\"kind\": \"rmat\", \"scale\": " << scale
+      << ", \"edges_per_vertex\": 8, \"seed\": 42, \"vertices\": "
+      << in.csr.num_vertices() << ", \"arcs\": " << in.csr.num_arcs() << "},\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"kernels\": {\n"
+      << "    \"local_move_hash\": {\"ns_per_op\": " << hash_ns
+      << ", \"ns_per_arc\": " << hash_ns / arcs << ", \"moved\": " << hash_moved
+      << "},\n"
+      << "    \"local_move_flat\": {\"ns_per_op\": " << flat_ns
+      << ", \"ns_per_arc\": " << flat_ns / arcs << ", \"moved\": " << flat_moved
+      << "},\n"
+      << "    \"coarsen_flat\": {\"ns_per_op\": " << coarsen_ns
+      << ", \"ns_per_arc\": " << coarsen_ns / arcs << "}\n"
+      << "  },\n"
+      << "  \"ratios\": {\"local_move_hash_over_flat\": " << hash_ns / flat_ns
+      << "},\n"
+      << "  \"dist_breakdown\": {\"ranks\": 4, \"scale\": " << dist_scale
+      << ", \"seconds\": " << dist_seconds
+      << ", \"ghost_exchange\": " << breakdown.ghost_exchange
+      << ", \"community_info\": " << breakdown.community_info
+      << ", \"compute\": " << breakdown.compute
+      << ", \"delta_exchange\": " << breakdown.delta_exchange
+      << ", \"allreduce\": " << breakdown.allreduce
+      << ", \"rebuild\": " << breakdown.rebuild << "}\n"
+      << "}\n";
+  std::cout << "local_move_hash: " << hash_ns / arcs << " ns/arc\n"
+            << "local_move_flat: " << flat_ns / arcs << " ns/arc\n"
+            << "speedup:         " << hash_ns / flat_ns << "x\n"
+            << "wrote " << json_path << '\n';
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int scale = 16;
+  int reps = 5;
+  int dist_scale = 12;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pr3_json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--pr3_json="));
+    } else if (arg.rfind("--pr3_scale=", 0) == 0) {
+      scale = std::stoi(arg.substr(std::strlen("--pr3_scale=")));
+    } else if (arg.rfind("--pr3_reps=", 0) == 0) {
+      reps = std::stoi(arg.substr(std::strlen("--pr3_reps=")));
+    } else if (arg.rfind("--pr3_dist_scale=", 0) == 0) {
+      dist_scale = std::stoi(arg.substr(std::strlen("--pr3_dist_scale=")));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_pr3(json_path, scale, reps, dist_scale);
+
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/exchange_mode.hpp"
 #include "louvain/config.hpp"
 
 namespace dlouvain::core {
@@ -59,6 +60,16 @@ struct DistConfig {
   /// instead of a dense all-to-all. Same results either way; kept as a knob
   /// for the ablation bench.
   bool use_neighbor_exchange{true};
+
+  /// Wire format of the per-iteration ghost community update: full mirror
+  /// lists (dense), changed entries only (delta), or a per-destination pick
+  /// (auto, the default). Results are identical in every mode; see
+  /// core/exchange_mode.hpp.
+  GhostExchangeMode ghost_exchange_mode{GhostExchangeMode::kAuto};
+
+  /// kAuto's crossover: a destination goes delta when 2 * changed entries
+  /// <= crossover * mirror list size.
+  double delta_exchange_crossover{0.5};
 
   /// Process vertices color class by color class (distributed distance-1
   /// coloring, recomputed per phase) so concurrently-deciding vertices are

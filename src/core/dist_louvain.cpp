@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "core/checkpoint.hpp"
 #include "core/coloring.hpp"
@@ -12,6 +11,7 @@
 #include "louvain/early_term.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
+#include "util/scatter.hpp"
 #include "util/timer.hpp"
 
 namespace dlouvain::core {
@@ -35,21 +35,29 @@ constexpr std::int64_t kSweepBatches = 64;
 Weight local_intra_weight(util::ThreadPool& pool, const graph::DistGraph& g,
                           std::span<const CommunityId> owned_community,
                           const GhostCommunities& ghosts) {
+  const auto& row = g.local().offsets();
+  const auto& arcs = g.local().edges();
+  const auto& dst_slot = g.dst_slots();
+  const auto& ghost_comm = ghosts.values();
+  const auto local_n = static_cast<std::int64_t>(g.local_count());
   return util::parallel_reduce(
       &pool, g.local_count(), [&](std::int64_t begin, std::int64_t end) {
         Weight intra = 0;
         for (VertexId lv = begin; lv < end; ++lv) {
           const VertexId gv = g.to_global(lv);
           const CommunityId cv = owned_community[static_cast<std::size_t>(lv)];
-          for (const auto& e : g.local().neighbors(lv)) {
+          const auto a_end = static_cast<std::size_t>(row[static_cast<std::size_t>(lv) + 1]);
+          for (auto a = static_cast<std::size_t>(row[static_cast<std::size_t>(lv)]);
+               a < a_end; ++a) {
+            const auto& e = arcs[a];
             if (e.dst == gv) {
               intra += 2 * e.weight;  // self loop: A_vv = 2w, always intra
               continue;
             }
+            const std::int64_t d = dst_slot[a];
             const CommunityId cu =
-                g.owns(e.dst)
-                    ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
-                    : ghosts.of(e.dst);
+                d < local_n ? owned_community[static_cast<std::size_t>(d)]
+                            : ghost_comm[static_cast<std::size_t>(d - local_n)];
             if (cu == cv) intra += e.weight;
           }
         }
@@ -106,10 +114,38 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 
   // Per-vertex move proposals for the current sweep group:
   // kInvalidCommunity = did not participate (ET-inactive), otherwise the
-  // proposed community (own id = participated but stays).
+  // proposed community (own id = participated but stays), with the matching
+  // ledger slot carried alongside so the apply loop never hashes.
   std::vector<CommunityId> proposed(static_cast<std::size_t>(local_n),
                                     kInvalidCommunity);
-  std::vector<CommunityId> needed;
+  std::vector<std::int64_t> proposed_slot(static_cast<std::size_t>(local_n), -1);
+
+  // Ledger-slot mirrors of the two community arrays the sweep reads through:
+  // owned_comm_slot[lv] = slot of owned_community[lv], ghost_comm_slot[s] =
+  // slot of ghosts.values()[s]. Updated only when the underlying value
+  // changes (a move, or a ghost-exchange delta), so the per-edge community
+  // lookup in the scan is two array reads -- no id hashing anywhere in the
+  // hot loop. Retaining every ghost's initial self-community here also
+  // seeds the ledger's refcounts: from now on they track exactly which
+  // communities some local slot still references.
+  std::vector<std::int64_t> owned_comm_slot(static_cast<std::size_t>(local_n));
+  std::iota(owned_comm_slot.begin(), owned_comm_slot.end(), std::int64_t{0});
+  std::vector<std::int64_t> ghost_comm_slot(g.ghosts().size());
+  for (std::size_t s = 0; s < g.ghosts().size(); ++s)
+    ghost_comm_slot[s] = state.ledger.retain(g.ghosts()[s]);
+
+  const auto& row = g.local().offsets();
+  const auto& arcs = g.local().edges();
+  const auto& dst_slot = g.dst_slots();
+
+  // One flat e_{v -> c} scatter per pool thread, keyed by ledger slot and
+  // reused across vertices, batches and iterations (the generation-stamped
+  // replacement for the per-vertex unordered_map).
+  std::vector<util::ScatterAccumulator<Weight>> scatter(
+      static_cast<std::size_t>(pool.num_threads()));
+
+  const GhostExchangeConfig xcfg{cfg.use_neighbor_exchange, cfg.ghost_exchange_mode,
+                                 cfg.delta_exchange_crossover};
 
   // Sweep groups. Without coloring there is ONE group holding every local
   // vertex (paper Algorithm 3 as published). With cfg.use_coloring, vertices
@@ -157,19 +193,22 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // (i) latest community assignments for all ghost vertices (Alg. 3 l.4-5).
     {
       util::ScopedAccum scope(t_ghost);
-      state.ghosts.exchange(comm, state.owned_community, cfg.use_neighbor_exchange);
+      state.ghosts.exchange(comm, state.owned_community, xcfg);
     }
 
     // (ii) authoritative a_c / |c| for every community our vertices or their
-    // neighbours might target.
+    // neighbours might target. The needed set is maintained incrementally:
+    // the exchange's change log retargets the refcounts (and the slot
+    // mirror), then the subscriber-push refresh fetches only what this rank
+    // newly needs and absorbs owners' pushes for records that changed.
     {
       util::ScopedAccum scope(t_cinfo);
-      needed.assign(state.owned_community.begin(), state.owned_community.end());
-      needed.insert(needed.end(), state.ghosts.values().begin(),
-                    state.ghosts.values().end());
-      std::sort(needed.begin(), needed.end());
-      needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
-      state.ledger.refresh(comm, needed);
+      for (const auto& change : state.ghosts.last_changes()) {
+        state.ledger.release(change.old_value);
+        ghost_comm_slot[static_cast<std::size_t>(change.slot)] = state.ledger.retain(
+            state.ghosts.values()[static_cast<std::size_t>(change.slot)]);
+      }
+      state.ledger.refresh(comm);
     }
 
     // (iii) local move computation (Alg. 3 l.6-9), threaded as a sequence of
@@ -190,15 +229,19 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
       util::ScopedAccum scope(t_compute);
       pool.reset_busy();
       const auto group_n = static_cast<std::int64_t>(order.size());
+      // The ledger's slot space is fixed for the whole sweep: new slots are
+      // only handed out while absorbing the ghost exchange, and moves can
+      // only target communities some slot already references.
+      const auto slot_cap = static_cast<std::size_t>(state.ledger.slot_count());
       for (std::int64_t batch = 0; batch < kSweepBatches; ++batch) {
         const auto [batch_begin, batch_end] =
             util::fixed_chunk(group_n, batch, kSweepBatches);
         if (batch_begin >= batch_end) continue;
 
         util::parallel_for(&pool, batch_end - batch_begin,
-                           [&, batch_begin](int, std::int64_t begin,
+                           [&, batch_begin](int tid, std::int64_t begin,
                                             std::int64_t end) {
-          std::unordered_map<CommunityId, Weight> nbr_weight;
+          auto& nbr_weight = scatter[static_cast<std::size_t>(tid)];
           for (std::int64_t i = begin; i < end; ++i) {
             const VertexId lv =
                 order[static_cast<std::size_t>(batch_begin + i)];
@@ -211,34 +254,53 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
             }
 
             const CommunityId own = state.owned_community[lvi];
+            const std::int64_t own_slot = owned_comm_slot[lvi];
             const Weight kv = g.weighted_degree(gv);
 
-            nbr_weight.clear();
-            for (const auto& e : g.local().neighbors(lv)) {
+            // e_{v -> c} over ledger slots: per arc, two array reads (the
+            // precomputed destination slot, then its community's slot
+            // mirror) and a stamped flat accumulate.
+            nbr_weight.reset(slot_cap);
+            const auto a_end = static_cast<std::size_t>(row[lvi + 1]);
+            for (auto a = static_cast<std::size_t>(row[lvi]); a < a_end; ++a) {
+              const auto& e = arcs[a];
               if (e.dst == gv) continue;
-              const CommunityId cu =
-                  g.owns(e.dst)
-                      ? state.owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
-                      : state.ghosts.of(e.dst);
-              nbr_weight[cu] += e.weight;
+              const std::int64_t d = dst_slot[a];
+              nbr_weight.add(
+                  d < local_n ? owned_comm_slot[static_cast<std::size_t>(d)]
+                              : ghost_comm_slot[static_cast<std::size_t>(d - local_n)],
+                  e.weight);
             }
 
-            const auto own_it = nbr_weight.find(own);
-            const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
-            const Weight a_own_less_v = state.ledger.info(own).degree - kv;
+            const Weight e_own = nbr_weight.get(own_slot);
+            const Weight a_own_less_v =
+                state.ledger.info_by_slot(own_slot).degree - kv;
 
+            // Argmax over the touched slots. The selection (max gain,
+            // strictly positive, smallest community id on ties) does not
+            // depend on visit order, so first-touch order here picks the
+            // same winner the hash-map iteration did.
             CommunityId best = own;
+            std::int64_t best_slot = own_slot;
             Weight best_gain = 0;
-            for (const auto& [target, e_target] : nbr_weight) {
-              if (target == own) continue;
+            for (const std::int64_t target_slot : nbr_weight.touched()) {
+              if (target_slot == own_slot) continue;
+              const Weight e_target = nbr_weight.get(target_slot);
               const Weight gain =
                   (e_target - e_own) / m -
-                  gamma * kv * (state.ledger.info(target).degree - a_own_less_v) /
+                  gamma * kv *
+                      (state.ledger.info_by_slot(target_slot).degree - a_own_less_v) /
                       (2 * m * m);
-              if (gain > best_gain ||
-                  (gain == best_gain && gain > 0 && best != own && target < best)) {
-                best = target;
+              if (gain > best_gain) {
+                best = state.ledger.id_of_slot(target_slot);
+                best_slot = target_slot;
                 best_gain = gain;
+              } else if (gain == best_gain && gain > 0 && best != own) {
+                const CommunityId target = state.ledger.id_of_slot(target_slot);
+                if (target < best) {
+                  best = target;
+                  best_slot = target_slot;
+                }
               }
             }
 
@@ -246,12 +308,14 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
             // comparator): concurrent decisions working from the same
             // snapshot would otherwise swap two singleton vertices back and
             // forth forever.
-            if (best != own && state.ledger.info(own).size == 1 &&
-                state.ledger.info(best).size == 1 && best > own) {
+            if (best != own && state.ledger.info_by_slot(own_slot).size == 1 &&
+                state.ledger.info_by_slot(best_slot).size == 1 && best > own) {
               best = own;
+              best_slot = own_slot;
             }
 
             proposed[lvi] = best;
+            proposed_slot[lvi] = best_slot;
           }
         });
 
@@ -259,7 +323,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
         // outcome is order-independent (each vertex lands on its own
         // proposal); the fixed order pins the floating-point accumulation
         // sequence in the ledger so a_c stays bitwise identical across
-        // thread counts.
+        // thread counts. Slot-keyed throughout: the ledger update, the
+        // refcount handoff and the slot-mirror write are all array ops.
         for (std::int64_t i = batch_begin; i < batch_end; ++i) {
           const VertexId lv = order[static_cast<std::size_t>(i)];
           const auto lvi = static_cast<std::size_t>(lv);
@@ -268,8 +333,14 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
           ++local_active;
           const CommunityId own = state.owned_community[lvi];
           if (best == own) continue;
-          state.ledger.apply_move(own, best, g.weighted_degree(g.to_global(lv)));
+          const std::int64_t own_slot = owned_comm_slot[lvi];
+          const std::int64_t to_slot = proposed_slot[lvi];
+          state.ledger.apply_move_slots(own_slot, to_slot,
+                                        g.weighted_degree(g.to_global(lv)));
+          state.ledger.release_slot(own_slot);
+          state.ledger.retain_slot(to_slot);
           state.owned_community[lvi] = best;
+          owned_comm_slot[lvi] = to_slot;
           moved[lvi] = 1;
           ++local_moved;
         }
@@ -337,10 +408,11 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   }
 
   // Exact phase-final modularity: one more ghost push so every rank sees the
-  // final assignments, then the same reduction.
+  // final assignments, then the same reduction. (The change log is not
+  // consumed -- no sweep reads the ledger after this point.)
   {
     util::ScopedAccum scope(t_ghost);
-    state.ghosts.exchange(comm, state.owned_community, cfg.use_neighbor_exchange);
+    state.ghosts.exchange(comm, state.owned_community, xcfg);
   }
   {
     util::ScopedAccum scope(t_allreduce);

@@ -1,0 +1,27 @@
+#include "core/exchange_mode.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dlouvain::core {
+
+std::optional<GhostExchangeMode> parse_exchange_mode(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "dense") return GhostExchangeMode::kDense;
+  if (lower == "delta") return GhostExchangeMode::kDelta;
+  if (lower == "auto") return GhostExchangeMode::kAuto;
+  return std::nullopt;
+}
+
+std::string exchange_mode_label(GhostExchangeMode mode) {
+  switch (mode) {
+    case GhostExchangeMode::kDense: return "dense";
+    case GhostExchangeMode::kDelta: return "delta";
+    case GhostExchangeMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace dlouvain::core

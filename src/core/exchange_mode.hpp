@@ -1,0 +1,33 @@
+// Ghost-exchange wire modes (dense vs delta), shared between the GhostField
+// implementation, DistConfig and the CLI so spellings cannot drift.
+//
+// Every iteration each rank pushes the current community of its mirrored
+// vertices to the ranks ghosting them. Late in a phase most vertices stop
+// moving, so most of a dense update message repeats what the receiver
+// already holds. Delta mode ships only the changed entries as (index, value)
+// pairs against the shared mirror list; the payload is self-describing (a
+// one-element header tags the format), so the sender may pick per
+// destination and per round. Results are identical in every mode -- the
+// receiver ends up with the same ghost values either way.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dlouvain::core {
+
+enum class GhostExchangeMode {
+  kDense,  ///< always ship the full mirror list (the seed's format)
+  kDelta,  ///< always ship (index, value) pairs of changed entries
+  kAuto,   ///< per destination: delta when few enough entries changed
+};
+
+/// CLI spelling ("dense" / "delta" / "auto", case-insensitive); nullopt for
+/// anything else -- callers own the error message.
+std::optional<GhostExchangeMode> parse_exchange_mode(std::string_view name);
+
+/// Inverse of parse_exchange_mode, for labels and telemetry dumps.
+std::string exchange_mode_label(GhostExchangeMode mode);
+
+}  // namespace dlouvain::core

@@ -4,30 +4,63 @@
 // to refresh all of them from their owners in one collective step. The
 // structural lists from DistGraph's Algorithm-4 setup make this cheap:
 // mirrors()[r] on this rank and ghosts_by_owner()[me] on rank r are the SAME
-// list in the same order, so each update message is just the T values
-// aligned with that list -- no (vertex, value) pairs needed.
+// list in the same order, so an update message needs no (vertex, value)
+// pairs -- either the full value array aligned with that list (dense), or,
+// once most vertices have stopped moving, just the changed entries as
+// (list index, value) pairs (delta). Every message carries a one-element
+// header tagging its format, so the sender decides per destination and per
+// round; see core/exchange_mode.hpp. Results are identical in every mode.
+//
+// The field also records which of its slots changed in the last exchange
+// (last_changes(), with the previous value) -- the hook the distributed
+// engine's incremental community-cache bookkeeping hangs off.
 //
 // Used with T = CommunityId for the Louvain community push, and with
 // T = std::int64_t for ghost colors in the distance-1 coloring.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "core/exchange_mode.hpp"
 #include "graph/dist_graph.hpp"
 #include "util/types.hpp"
 
 namespace dlouvain::core {
 
+/// Knobs for one GhostField::exchange call (see DistConfig for the run-level
+/// defaults and the CLI spellings).
+struct GhostExchangeConfig {
+  /// Sparse neighbourhood collective (default) vs dense all-to-all; the
+  /// paper's planned MPI-3 upgrade vs its baseline. Same payloads either way.
+  bool use_neighbor{true};
+  GhostExchangeMode mode{GhostExchangeMode::kDense};
+  /// kAuto picks delta for a destination when
+  ///   2 * changed_entries <= crossover * mirror_list_size
+  /// (a delta entry costs two wire elements where a dense one costs one).
+  double delta_crossover{0.5};
+};
+
 template <typename T>
 class GhostField {
  public:
-  /// All ghost slots start at `fill`.
+  /// A slot the last exchange changed, with the value it replaced.
+  struct SlotChange {
+    std::int64_t slot;
+    T old_value;
+  };
+
+  /// All ghost slots start at `fill`; delta senders assume the receiver
+  /// holds `fill` too, so the first exchange already works in any mode.
   GhostField(const graph::DistGraph& g, const T& fill)
-      : graph_(&g), values_(g.ghosts().size(), fill) {
+      : graph_(&g),
+        values_(g.ghosts().size(), fill),
+        prev_owned_(static_cast<std::size_t>(g.local_count()), fill) {
     init_offsets();
   }
 
@@ -38,11 +71,22 @@ class GhostField {
   {
     GhostField field(g, T{});
     std::copy(g.ghosts().begin(), g.ghosts().end(), field.values_.begin());
+    for (VertexId lv = 0; lv < g.local_count(); ++lv)
+      field.prev_owned_[static_cast<std::size_t>(lv)] = static_cast<T>(g.to_global(lv));
     return field;
   }
 
-  /// Value for ghost vertex gv (must be a ghost of this rank).
+  /// Value for ghost vertex gv. Hot path: debug-asserted, no checks in
+  /// release builds -- callers that cannot guarantee gv is a ghost use at().
   [[nodiscard]] const T& of(VertexId gv) const {
+    const auto slot = graph_->ghost_slot(gv);
+    assert(slot >= 0 && "GhostField::of: not a ghost vertex");
+    return values_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Checked twin of of(): throws std::out_of_range when gv is not a ghost
+  /// of this rank. For protocol-boundary callers and tests.
+  [[nodiscard]] const T& at(VertexId gv) const {
     const auto slot = graph_->ghost_slot(gv);
     if (slot < 0) throw std::out_of_range("GhostField: not a ghost vertex");
     return values_[static_cast<std::size_t>(slot)];
@@ -50,33 +94,84 @@ class GhostField {
 
   /// Collective: push the current value of every mirrored owned vertex to
   /// the ranks ghosting it, and absorb their pushes into our slots. `owned`
-  /// maps local vertex index -> value. With `use_neighbor` (default) the
-  /// exchange runs over the sparse neighbourhood topology (the paper's
-  /// planned MPI-3 neighbourhood-collective upgrade, Section VI); without
-  /// it, a dense all-to-all -- same payloads, O(p^2) messages (kept for the
-  /// ablation bench).
-  void exchange(comm::Comm& comm, std::span<const T> owned, bool use_neighbor = true) {
-    const auto payload_for = [&](Rank r) {
+  /// maps local vertex index -> value.
+  void exchange(comm::Comm& comm, std::span<const T> owned,
+                const GhostExchangeConfig& cfg) {
+    changes_.clear();
+
+    const auto build_payload = [&](Rank r) {
       const auto& mirror_list = graph_->mirrors()[static_cast<std::size_t>(r)];
       std::vector<T> payload;
-      payload.reserve(mirror_list.size());
+      if (cfg.mode != GhostExchangeMode::kDense) {
+        if constexpr (std::is_integral_v<T>) {
+          std::size_t changed = 0;
+          for (const VertexId gv : mirror_list) {
+            const auto lv = static_cast<std::size_t>(graph_->to_local(gv));
+            if (owned[lv] != prev_owned_[lv]) ++changed;
+          }
+          const bool use_delta =
+              cfg.mode == GhostExchangeMode::kDelta ||
+              2.0 * static_cast<double>(changed) <=
+                  cfg.delta_crossover * static_cast<double>(mirror_list.size());
+          if (use_delta) {
+            payload.reserve(1 + 2 * changed);
+            payload.push_back(static_cast<T>(1));
+            for (std::size_t i = 0; i < mirror_list.size(); ++i) {
+              const auto lv = static_cast<std::size_t>(graph_->to_local(mirror_list[i]));
+              if (owned[lv] != prev_owned_[lv]) {
+                payload.push_back(static_cast<T>(i));
+                payload.push_back(owned[lv]);
+              }
+            }
+            return payload;
+          }
+        }
+      }
+      payload.reserve(1 + mirror_list.size());
+      payload.push_back(static_cast<T>(0));
       for (const VertexId gv : mirror_list)
         payload.push_back(owned[static_cast<std::size_t>(graph_->to_local(gv))]);
       return payload;
     };
+
+    const auto store = [&](std::size_t slot, const T& value) {
+      if (values_[slot] != value) {
+        changes_.push_back(SlotChange{static_cast<std::int64_t>(slot), values_[slot]});
+        values_[slot] = value;
+      }
+    };
     const auto absorb = [&](Rank r, const std::vector<T>& received) {
-      if (received.size() != graph_->ghosts_by_owner()[static_cast<std::size_t>(r)].size())
-        throw std::logic_error("GhostField: update length mismatch");
-      std::copy(received.begin(), received.end(),
-                values_.begin() +
-                    static_cast<std::ptrdiff_t>(offsets_[static_cast<std::size_t>(r)]));
+      const auto base = offsets_[static_cast<std::size_t>(r)];
+      const auto count = graph_->ghosts_by_owner()[static_cast<std::size_t>(r)].size();
+      if (count == 0 && received.empty()) return;
+      if (received.empty())
+        throw std::logic_error("GhostField: missing update header");
+      if (received.front() == static_cast<T>(0)) {
+        if (received.size() != count + 1)
+          throw std::logic_error("GhostField: dense update length mismatch");
+        for (std::size_t i = 0; i < count; ++i) store(base + i, received[i + 1]);
+        return;
+      }
+      if constexpr (std::is_integral_v<T>) {
+        if (received.front() != static_cast<T>(1) || received.size() % 2 != 1)
+          throw std::logic_error("GhostField: malformed delta update");
+        for (std::size_t i = 1; i + 1 < received.size(); i += 2) {
+          const auto idx = static_cast<std::size_t>(received[i]);
+          if (idx >= count)
+            throw std::logic_error("GhostField: delta index out of range");
+          store(base + idx, received[i + 1]);
+        }
+        return;
+      }
+      throw std::logic_error("GhostField: delta update for non-integral field");
     };
 
-    if (use_neighbor) {
+    if (cfg.use_neighbor) {
       const auto& neighbors = graph_->neighbor_ranks();
       std::vector<std::vector<T>> outbox;
       outbox.reserve(neighbors.size());
-      for (const Rank r : neighbors) outbox.push_back(payload_for(r));
+      for (const Rank r : neighbors) outbox.push_back(build_payload(r));
+      remember_sent(owned);
       const auto inbox = comm.neighbor_alltoallv<T>(neighbors, std::move(outbox));
       for (std::size_t i = 0; i < neighbors.size(); ++i) absorb(neighbors[i], inbox[i]);
       return;
@@ -85,18 +180,33 @@ class GhostField {
     const int p = comm.size();
     std::vector<std::vector<T>> outbox(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
-      if (r != comm.rank())
-        outbox[static_cast<std::size_t>(r)] = payload_for(static_cast<Rank>(r));
+      if (r != comm.rank()) outbox[static_cast<std::size_t>(r)] = build_payload(static_cast<Rank>(r));
     }
+    remember_sent(owned);
     const auto inbox = comm.alltoallv<T>(std::move(outbox));
     for (int r = 0; r < p; ++r) {
       if (r != comm.rank()) absorb(static_cast<Rank>(r), inbox[static_cast<std::size_t>(r)]);
     }
   }
 
-  /// Overload for vector storage.
+  /// Legacy dense-mode entry points (sparse/dense topology knob only).
+  void exchange(comm::Comm& comm, std::span<const T> owned, bool use_neighbor = true) {
+    GhostExchangeConfig cfg;
+    cfg.use_neighbor = use_neighbor;
+    exchange(comm, owned, cfg);
+  }
   void exchange(comm::Comm& comm, const std::vector<T>& owned, bool use_neighbor = true) {
     exchange(comm, std::span<const T>(owned), use_neighbor);
+  }
+  void exchange(comm::Comm& comm, const std::vector<T>& owned,
+                const GhostExchangeConfig& cfg) {
+    exchange(comm, std::span<const T>(owned), cfg);
+  }
+
+  /// Slots the last exchange() call overwrote with a DIFFERENT value, with
+  /// the value each held before (in ascending slot order per source rank).
+  [[nodiscard]] const std::vector<SlotChange>& last_changes() const noexcept {
+    return changes_;
   }
 
   /// All ghost values, indexed by ghost slot (aligned with
@@ -110,9 +220,17 @@ class GhostField {
       offsets_[r + 1] = offsets_[r] + graph_->ghosts_by_owner()[r].size();
   }
 
+  /// Snapshot what this round told the world, so the next round's deltas are
+  /// relative to what every receiver now holds.
+  void remember_sent(std::span<const T> owned) {
+    std::copy(owned.begin(), owned.end(), prev_owned_.begin());
+  }
+
   const graph::DistGraph* graph_;
-  std::vector<T> values_;           ///< by ghost slot
+  std::vector<T> values_;             ///< by ghost slot
+  std::vector<T> prev_owned_;         ///< by local vertex: value last sent
   std::vector<std::size_t> offsets_;  ///< slot offset per owner rank
+  std::vector<SlotChange> changes_;   ///< slots the last exchange rewrote
 };
 
 /// The Louvain community field: ghosts start in their own community.

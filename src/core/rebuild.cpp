@@ -85,6 +85,9 @@ RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
   // to a serial walk. The resolve map is read-only here.
   std::vector<Edge> arcs(static_cast<std::size_t>(g.local().num_arcs()));
   const auto& row_offsets = g.local().offsets();
+  const auto& dst_slot = g.dst_slots();
+  const auto& ghost_comm = ghosts.values();
+  const auto local_n = static_cast<std::int64_t>(g.local_count());
   util::parallel_for(pool, g.local_count(), [&](int, std::int64_t begin,
                                                 std::int64_t end) {
     for (VertexId lv = begin; lv < end; ++lv) {
@@ -93,9 +96,10 @@ RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
           resolve_or_throw(owned_community[static_cast<std::size_t>(lv)]);
       auto pos = static_cast<std::size_t>(row_offsets[static_cast<std::size_t>(lv)]);
       for (const auto& e : g.local().neighbors(lv)) {
+        const std::int64_t d = dst_slot[pos];  // pos tracks the arc index
         const CommunityId cu =
-            g.owns(e.dst) ? owned_community[static_cast<std::size_t>(g.to_local(e.dst))]
-                          : ghosts.of(e.dst);
+            d < local_n ? owned_community[static_cast<std::size_t>(d)]
+                        : ghost_comm[static_cast<std::size_t>(d - local_n)];
         const VertexId ndst = resolve_or_throw(cu);
         if (nsrc == ndst) {
           arcs[pos++] = {nsrc, ndst, e.dst == gv ? e.weight : e.weight / 2};

@@ -31,6 +31,8 @@ core::DistConfig Plan::dist_config() const {
   cfg.add_threshold_cycling = cycling_;
   cfg.use_coloring = coloring_;
   cfg.record_iterations = record_iterations_;
+  cfg.ghost_exchange_mode = exchange_mode_;
+  cfg.delta_exchange_crossover = exchange_crossover_;
   cfg.threads_per_rank = threads_;
   cfg.checkpoint.dir = checkpoint_dir_;
   cfg.checkpoint.every = checkpoint_every_;

@@ -48,6 +48,9 @@ namespace dlouvain {
 /// never open the core namespace.
 using core::Variant;
 
+/// Ghost-exchange wire modes (core/exchange_mode.hpp), re-exported likewise.
+using core::GhostExchangeMode;
+
 /// Which implementation a Plan dispatches to.
 enum class Engine {
   kSerial,       ///< single-threaded reference (louvain/serial.hpp)
@@ -138,6 +141,12 @@ class Plan {
   Plan& vertex_following(bool on = true) { vertex_following_ = on; return *this; }
   /// Record per-iteration telemetry (distributed engine, Figs. 5-6 series).
   Plan& record_iterations(bool on = true) { record_iterations_ = on; return *this; }
+  /// Ghost-exchange wire format (distributed engine): dense mirror lists,
+  /// changed-entries-only deltas, or a per-destination pick (the default).
+  /// Never changes results -- a bandwidth knob.
+  Plan& exchange(GhostExchangeMode mode) { exchange_mode_ = mode; return *this; }
+  /// kAuto's delta crossover threshold (see DistConfig).
+  Plan& exchange_crossover(double c) { exchange_crossover_ = c; return *this; }
 
   // -- fault tolerance (distributed engine; see docs/FAULT_TOLERANCE.md) --
   /// Write phase-boundary checkpoints into `dir` (every `every` phases).
@@ -195,6 +204,8 @@ class Plan {
   bool coloring_{false};
   bool vertex_following_{false};
   bool record_iterations_{true};
+  GhostExchangeMode exchange_mode_{GhostExchangeMode::kAuto};
+  double exchange_crossover_{0.5};
   std::string checkpoint_dir_;
   int checkpoint_every_{1};
   bool resume_{false};

@@ -60,6 +60,16 @@ class DistGraph {
     return it == ghost_index_.end() ? -1 : static_cast<std::int64_t>(it->second);
   }
 
+  /// Per-arc destination slots, aligned with local().edges(): arc a's
+  /// destination resolves to dst_slots()[a], which is its local row index
+  /// when owned here and local_count() + ghost slot otherwise. Precomputed
+  /// once per build so the per-iteration hot loops (move scan, modularity,
+  /// rebuild) never pay the owns()/ghost_slot() hash lookup per edge -- the
+  /// index-translation trick of the Vite/Grappolo lineage.
+  [[nodiscard]] const std::vector<std::int64_t>& dst_slots() const noexcept {
+    return dst_slots_;
+  }
+
   /// ghosts_by_owner()[r]: the subset of ghosts() owned by rank r (sorted).
   [[nodiscard]] const std::vector<std::vector<VertexId>>& ghosts_by_owner() const noexcept {
     return ghosts_by_owner_;
@@ -118,6 +128,7 @@ class DistGraph {
   Weight total_weight_{0};
   EdgeId global_arcs_{0};
   std::vector<VertexId> ghosts_;
+  std::vector<std::int64_t> dst_slots_;
   std::unordered_map<VertexId, std::size_t> ghost_index_;
   std::vector<std::vector<VertexId>> ghosts_by_owner_;
   std::vector<std::vector<VertexId>> mirrors_;

@@ -1,18 +1,21 @@
 #include "louvain/coarsen.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace dlouvain::louvain {
 
 CommunityId compact_ids(std::vector<CommunityId>& community) {
-  std::map<CommunityId, CommunityId> renumber;  // ordered: stable compact ids
-  for (const auto c : community) renumber.emplace(c, 0);
-  CommunityId next = 0;
-  for (auto& [old_id, new_id] : renumber) new_id = next++;
-  for (auto& c : community) c = renumber.at(c);
-  return next;
+  // Sorted-unique id list = the ordered renumbering (stable compact ids),
+  // flat instead of a node-based map.
+  std::vector<CommunityId> ids(community);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (auto& c : community) {
+    c = static_cast<CommunityId>(
+        std::lower_bound(ids.begin(), ids.end(), c) - ids.begin());
+  }
+  return static_cast<CommunityId>(ids.size());
 }
 
 std::vector<CommunityId> compose(std::span<const CommunityId> orig_to_curr,
@@ -38,8 +41,11 @@ CoarsenResult coarsen(const graph::Csr& g, std::span<const CommunityId> communit
 
   // Accumulate meta arcs. Distinct-member intra weight is summed into `intra`
   // (it double counts each undirected pair) and halved at the end; stored
-  // member self loops land in `self` at face value.
-  std::map<std::pair<CommunityId, CommunityId>, Weight> inter;
+  // member self loops land in `self` at face value. Inter-community arcs are
+  // collected flat and merged by a stable sort -- O(E log E), no per-pair
+  // node allocations -- which reproduces the ordered-map output exactly:
+  // (src, dst)-sorted pairs, equal keys summed in edge-scan order.
+  std::vector<Edge> inter;
   std::vector<Weight> intra(static_cast<std::size_t>(result.num_meta_vertices), 0.0);
   std::vector<Weight> self(static_cast<std::size_t>(result.num_meta_vertices), 0.0);
   for (VertexId v = 0; v < n; ++v) {
@@ -51,14 +57,23 @@ CoarsenResult coarsen(const graph::Csr& g, std::span<const CommunityId> communit
       } else if (cu == cv) {
         intra[static_cast<std::size_t>(cv)] += e.weight;
       } else {
-        inter[{cv, cu}] += e.weight;
+        inter.push_back({cv, cu, e.weight});
       }
     }
   }
+  std::stable_sort(inter.begin(), inter.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
 
   std::vector<Edge> arcs;
   arcs.reserve(inter.size() + static_cast<std::size_t>(result.num_meta_vertices));
-  for (const auto& [key, w] : inter) arcs.push_back({key.first, key.second, w});
+  for (const auto& e : inter) {
+    if (!arcs.empty() && arcs.back().src == e.src && arcs.back().dst == e.dst) {
+      arcs.back().weight += e.weight;
+    } else {
+      arcs.push_back(e);
+    }
+  }
   for (CommunityId c = 0; c < result.num_meta_vertices; ++c) {
     const Weight loop = intra[static_cast<std::size_t>(c)] / 2 + self[static_cast<std::size_t>(c)];
     if (loop > 0) arcs.push_back({c, c, loop});

@@ -1,12 +1,12 @@
 #include "louvain/serial.hpp"
 
 #include <numeric>
-#include <unordered_map>
 
 #include "louvain/coarsen.hpp"
 #include "louvain/modularity.hpp"
 #include "louvain/vertex_follow.hpp"
 #include "util/prng.hpp"
+#include "util/scatter.hpp"
 #include "util/timer.hpp"
 
 namespace dlouvain::louvain {
@@ -32,7 +32,9 @@ std::vector<CommunityId> run_phase(const graph::Csr& g, const LouvainConfig& cfg
 
   const double gamma = cfg.resolution;
   Weight prev_mod = modularity(g, community, gamma);
-  std::unordered_map<CommunityId, Weight> nbr_weight;
+  // Flat e_{v -> c} scatter, keyed directly by community id (ids live in
+  // [0, n) on this engine); reused across every vertex of the phase.
+  util::ScatterAccumulator<Weight> nbr_weight;
 
   // Vertices are swept in a seeded-random order, reshuffled every iteration.
   // Index-order sweeps are pathological for asynchronous Louvain on graphs
@@ -52,20 +54,20 @@ std::vector<CommunityId> run_phase(const graph::Csr& g, const LouvainConfig& cfg
 
       // e_{v -> c} for every neighbouring community (self loops excluded:
       // they move with v and cancel in all gain comparisons).
-      nbr_weight.clear();
+      nbr_weight.reset(static_cast<std::size_t>(n));
       for (const auto& e : g.neighbors(v)) {
         if (e.dst == v) continue;
-        nbr_weight[community[static_cast<std::size_t>(e.dst)]] += e.weight;
+        nbr_weight.add(community[static_cast<std::size_t>(e.dst)], e.weight);
       }
 
-      const auto own_it = nbr_weight.find(own);
-      const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+      const Weight e_own = nbr_weight.get(own);
       const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
 
       CommunityId best = own;
       Weight best_gain = 0;
-      for (const auto& [target, e_target] : nbr_weight) {
+      for (const CommunityId target : nbr_weight.touched()) {
         if (target == own) continue;
+        const Weight e_target = nbr_weight.get(target);
         const Weight gain = (e_target - e_own) / m -
                             gamma * kv *
                                 (a[static_cast<std::size_t>(target)] - a_own_less_v) /

@@ -1,7 +1,6 @@
 #include "louvain/shared.hpp"
 
 #include <numeric>
-#include <unordered_map>
 
 #include "louvain/coarsen.hpp"
 #include "louvain/early_term.hpp"
@@ -9,6 +8,7 @@
 #include "louvain/vertex_follow.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
+#include "util/scatter.hpp"
 #include "util/timer.hpp"
 
 namespace dlouvain::louvain {
@@ -92,6 +92,12 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
   std::vector<CommunityId> proposed(static_cast<std::size_t>(n), kInvalidCommunity);
   std::vector<Weight> delta_e(static_cast<std::size_t>(n), 0);
 
+  // One flat e_{v -> c} scatter per pool thread (community ids live in
+  // [0, n) on this engine), reused across vertices and batches. Each thread
+  // only ever touches its own slot, so the decision scan stays race-free.
+  std::vector<util::ScatterAccumulator<Weight>> scatter(
+      static_cast<std::size_t>(pool.num_threads()));
+
   for (int iter = 0; iter < cfg.max_iterations_per_phase; ++iter) {
     std::int64_t moved_count = 0;
     for (std::size_t i = order.size(); i > 1; --i)
@@ -106,9 +112,9 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
       // size / et probabilities are read-only until every thread is done, so
       // the scan's partitioning across threads cannot change any proposal.
       util::parallel_for(&pool, batch_end - batch_begin,
-                         [&, batch_begin](int, std::int64_t begin,
+                         [&, batch_begin](int tid, std::int64_t begin,
                                           std::int64_t end) {
-        std::unordered_map<CommunityId, Weight> nbr_weight;
+        auto& nbr_weight = scatter[static_cast<std::size_t>(tid)];
         for (std::int64_t i = begin; i < end; ++i) {
           const VertexId v = order[static_cast<std::size_t>(batch_begin + i)];
           const auto vi = static_cast<std::size_t>(v);
@@ -120,20 +126,20 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
           const CommunityId own = curr[vi];
           const Weight kv = k[vi];
 
-          nbr_weight.clear();
+          nbr_weight.reset(static_cast<std::size_t>(n));
           for (const auto& e : g.neighbors(v)) {
             if (e.dst == v) continue;
-            nbr_weight[curr[static_cast<std::size_t>(e.dst)]] += e.weight;
+            nbr_weight.add(curr[static_cast<std::size_t>(e.dst)], e.weight);
           }
-          const auto own_it = nbr_weight.find(own);
-          const Weight e_own = own_it == nbr_weight.end() ? 0.0 : own_it->second;
+          const Weight e_own = nbr_weight.get(own);
           const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
 
           CommunityId best = own;
           Weight best_gain = 0;
           Weight best_e = e_own;
-          for (const auto& [target, e_target] : nbr_weight) {
+          for (const CommunityId target : nbr_weight.touched()) {
             if (target == own) continue;
+            const Weight e_target = nbr_weight.get(target);
             const Weight gain =
                 (e_target - e_own) / m -
                 gamma * kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) /

@@ -1,9 +1,24 @@
 #include "quality/fscore.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dlouvain::quality {
+
+namespace {
+
+std::uint64_t pair_key(CommunityId x, CommunityId y) {
+  // Labels are hashed to 32-bit slots; collisions are astronomically
+  // unlikely for community counts below 2^32 (same scheme as nmi.cpp).
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+         static_cast<std::uint32_t>(y);
+}
+
+}  // namespace
 
 QualityScores compare_to_ground_truth(std::span<const CommunityId> detected,
                                       std::span<const CommunityId> truth) {
@@ -14,30 +29,45 @@ QualityScores compare_to_ground_truth(std::span<const CommunityId> detected,
 
   std::unordered_map<CommunityId, double> detected_size;
   std::unordered_map<CommunityId, double> truth_size;
-  // overlap[g] = (detected community -> #common vertices)
-  std::unordered_map<CommunityId, std::unordered_map<CommunityId, double>> overlap;
+  // One flat table keyed by the packed (truth, detected) pair instead of a
+  // map of maps: overlap[(g, d)] = #common vertices.
+  std::unordered_map<std::uint64_t, double> overlap;
   for (std::size_t v = 0; v < truth.size(); ++v) {
     ++detected_size[detected[v]];
     ++truth_size[truth[v]];
-    ++overlap[truth[v]][detected[v]];
+    ++overlap[pair_key(truth[v], detected[v])];
   }
+
+  // Best-matching detected community per ground-truth community. The
+  // predicate (most common vertices, then smallest detected id) is
+  // iteration-order independent.
+  std::unordered_map<CommunityId, std::pair<double, CommunityId>> best;
+  for (const auto& [key, common] : overlap) {
+    const auto g = static_cast<CommunityId>(static_cast<std::int32_t>(key >> 32));
+    const auto d =
+        static_cast<CommunityId>(static_cast<std::int32_t>(key & 0xffffffffu));
+    const auto it = best.find(g);
+    if (it == best.end() || common > it->second.first ||
+        (common == it->second.first && d < it->second.second)) {
+      best[g] = {common, d};
+    }
+  }
+
+  // Accumulate in ascending ground-truth id order so the floating-point sums
+  // are deterministic across library hash implementations.
+  std::vector<CommunityId> ground_truth_ids;
+  ground_truth_ids.reserve(best.size());
+  for (const auto& [g, match] : best) ground_truth_ids.push_back(g);
+  std::sort(ground_truth_ids.begin(), ground_truth_ids.end());
 
   double precision_sum = 0;
   double recall_sum = 0;
   double f_sum = 0;
   double weight_sum = 0;
-  for (const auto& [g, matches] : overlap) {
-    // Best-matching detected community for this ground-truth community.
-    CommunityId best = -1;
-    double best_common = -1;
-    for (const auto& [d, common] : matches) {
-      if (common > best_common || (common == best_common && d < best)) {
-        best = d;
-        best_common = common;
-      }
-    }
+  for (const CommunityId g : ground_truth_ids) {
+    const auto& [best_common, best_d] = best.at(g);
     const double g_size = truth_size.at(g);
-    const double d_size = detected_size.at(best);
+    const double d_size = detected_size.at(best_d);
     const double precision = best_common / d_size;
     const double recall = best_common / g_size;
     const double f =
@@ -52,7 +82,7 @@ QualityScores compare_to_ground_truth(std::span<const CommunityId> detected,
   scores.precision = precision_sum / weight_sum;
   scores.recall = recall_sum / weight_sum;
   scores.f_score = f_sum / weight_sum;
-  scores.ground_truth_communities = overlap.size();
+  scores.ground_truth_communities = best.size();
   scores.detected_communities = detected_size.size();
   return scores;
 }

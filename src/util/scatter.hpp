@@ -1,0 +1,78 @@
+// ScatterAccumulator: the flat replacement for the per-vertex
+// `std::unordered_map<key, V>` scatter pattern in the Louvain local-move
+// kernels.
+//
+// The hash-map version pays an allocation-amortised probe per edge and a
+// rehash-sensitive iteration to read the result back. This structure keys by
+// a DENSE SLOT (community ids in the serial/shared engines, the
+// CommunityLedger's compact community index in the distributed engine) into
+// a value array that is never cleared: each slot carries an epoch stamp, and
+// a slot is "present" iff its stamp equals the current epoch. reset() just
+// bumps the epoch, so per-vertex reuse is O(touched) -- the classic
+// generation-stamped scatter/gather kernel (Grappolo/Vite lineage).
+//
+// Determinism: touched() lists slots in FIRST-TOUCH order, which for an edge
+// scan is a deterministic function of the adjacency order alone -- no hash
+// seeding, no rehash boundaries. Accumulation order per slot equals the scan
+// order, so floating-point sums are bitwise identical to the hash-map
+// version's operator[] += sequence.
+//
+// Each thread owns one accumulator (they are not thread-safe); sweeps reuse
+// them across vertices and batches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dlouvain::util {
+
+template <typename V>
+class ScatterAccumulator {
+ public:
+  /// Start a fresh accumulation over slots [0, capacity). O(1) amortised:
+  /// grows the backing arrays on capacity increase and on epoch-counter
+  /// wraparound only.
+  void reset(std::size_t capacity) {
+    if (capacity > values_.size()) {
+      values_.resize(capacity, V{});
+      stamps_.resize(capacity, 0);
+    }
+    touched_.clear();
+    if (++epoch_ == 0) {  // wrapped: stale stamps could alias epoch 0
+      std::fill(stamps_.begin(), stamps_.end(), std::uint32_t{0});
+      epoch_ = 1;
+    }
+  }
+
+  /// values_[slot] += delta, first touch initialising to delta.
+  void add(std::int64_t slot, V delta) {
+    const auto s = static_cast<std::size_t>(slot);
+    if (stamps_[s] == epoch_) {
+      values_[s] += delta;
+    } else {
+      stamps_[s] = epoch_;
+      values_[s] = delta;
+      touched_.push_back(slot);
+    }
+  }
+
+  /// Current value of `slot` (V{} if untouched this epoch).
+  [[nodiscard]] V get(std::int64_t slot) const {
+    const auto s = static_cast<std::size_t>(slot);
+    return stamps_[s] == epoch_ ? values_[s] : V{};
+  }
+
+  /// Slots touched since reset(), in first-touch order.
+  [[nodiscard]] const std::vector<std::int64_t>& touched() const noexcept {
+    return touched_;
+  }
+
+ private:
+  std::vector<V> values_;
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_{0};
+  std::vector<std::int64_t> touched_;
+};
+
+}  // namespace dlouvain::util

@@ -1,0 +1,241 @@
+// PR3 hot-path overhaul guarantees, pinned as tests:
+//
+//  * fixed-seed results are BITWISE identical to the pre-overhaul (hash-map
+//    kernel, full-refetch ledger, dense-only exchange) implementation --
+//    golden constants below were captured from that implementation;
+//  * thread counts 1/4/16 never change a single bit (the PR 1 contract,
+//    re-verified on the flat kernels);
+//  * the ghost-exchange wire format (dense / delta / auto) never changes
+//    results -- not the assignment, not a modularity bit, not a checkpoint
+//    byte -- even under fault-injection delay and duplication plans.
+//
+// To regenerate the golden constants after an INTENDED algorithmic change:
+// run each Plan below and print util::crc32 of the community vector plus
+// std::bit_cast<uint64_t> of the modularity.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/ghost_exchange.hpp"
+#include "dlouvain.hpp"
+#include "gen/rmat.hpp"
+#include "gen/ssca2.hpp"
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+#include "util/crc32.hpp"
+
+namespace {
+
+using namespace dlouvain;
+namespace dc = dlouvain::comm;
+namespace dg = dlouvain::graph;
+
+graph::Csr rmat10() {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edges_per_vertex = 8;
+  p.seed = 42;
+  const auto g = gen::rmat(p);
+  return graph::from_edges(g.num_vertices, g.edges);
+}
+
+graph::Csr ssca2k() {
+  gen::Ssca2Params p;
+  p.num_vertices = 2000;
+  p.max_clique_size = 25;
+  p.inter_clique_prob = 0.01;
+  const auto g = gen::ssca2(p);
+  return graph::from_edges(g.num_vertices, g.edges);
+}
+
+std::uint32_t crc_of(const std::vector<CommunityId>& v) {
+  return util::crc32(v.data(), v.size() * sizeof(CommunityId));
+}
+
+std::uint64_t bits_of(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+struct Golden {
+  std::uint64_t modularity_bits;
+  std::uint32_t community_crc;
+  CommunityId num_communities;
+  int phases;
+  long iterations;
+};
+
+void expect_golden(const Result& r, const Golden& want, const std::string& label) {
+  EXPECT_EQ(bits_of(r.modularity), want.modularity_bits) << label;
+  EXPECT_EQ(crc_of(r.community), want.community_crc) << label;
+  EXPECT_EQ(r.num_communities, want.num_communities) << label;
+  EXPECT_EQ(r.phases, want.phases) << label;
+  EXPECT_EQ(r.total_iterations, want.iterations) << label;
+}
+
+// Captured from the pre-PR3 implementation (RMAT scale 10, epv 8, graph seed
+// 42; SSCA2 n=2000 clique 25 p=0.01; all plans .seed(123)).
+constexpr Golden kSerialRmat{0x3fc65df4311c433eULL, 0x56659c72u, 224, 5, 18};
+constexpr Golden kSharedRmat{0x3fc6f6ff9929a4ecULL, 0x95eddb9cu, 225, 4, 21};
+constexpr Golden kDistP1Rmat{0x3fc68495206dc15cULL, 0xe8144548u, 225, 4, 20};
+constexpr Golden kDistP4Rmat{0x3fc44bda813afcecULL, 0xe8e9efd6u, 225, 4, 13};
+constexpr Golden kDistP4Ssca{0x3fef5ffc2c5d5b20ULL, 0x546c5f76u, 93, 4, 9};
+constexpr Golden kDistP4EtcRmat{0x3fc4d22963c8bcc4ULL, 0x50c656f3u, 225, 5, 21};
+constexpr Golden kDistP2TcRmat{0x3fc5f179666eb223ULL, 0x25b861aau, 226, 5, 20};
+
+TEST(GoldenSeed, SerialMatchesPreOverhaulBits) {
+  expect_golden(Plan::serial().seed(123).run(rmat10()), kSerialRmat, "serial");
+}
+
+TEST(GoldenSeed, SharedMatchesAcrossThreadCounts) {
+  const auto g = rmat10();
+  for (const int threads : {1, 4, 16}) {
+    expect_golden(Plan::shared(threads).seed(123).run(g), kSharedRmat,
+                  "shared t" + std::to_string(threads));
+  }
+}
+
+TEST(GoldenSeed, DistributedMatchesAcrossThreadCounts) {
+  const auto g = rmat10();
+  for (const int threads : {1, 4, 16}) {
+    const auto label = " t" + std::to_string(threads);
+    expect_golden(Plan::distributed(1).threads(threads).seed(123).run(g),
+                  kDistP1Rmat, "dist p1" + label);
+    expect_golden(Plan::distributed(4).threads(threads).seed(123).run(g),
+                  kDistP4Rmat, "dist p4" + label);
+  }
+}
+
+TEST(GoldenSeed, DistributedVariantsMatch) {
+  const auto g = rmat10();
+  expect_golden(Plan::distributed(4)
+                    .threads(1)
+                    .seed(123)
+                    .variant(Variant::kEtc)
+                    .alpha(0.25)
+                    .run(g),
+                kDistP4EtcRmat, "dist p4 etc");
+  expect_golden(Plan::distributed(2)
+                    .threads(2)
+                    .seed(123)
+                    .variant(Variant::kThresholdCycling)
+                    .run(g),
+                kDistP2TcRmat, "dist p2 tc");
+}
+
+// ---- exchange-mode invariance ----------------------------------------------
+
+TEST(ExchangeModes, EveryModeMatchesTheGoldenBits) {
+  const auto ga = rmat10();
+  const auto gb = ssca2k();
+  for (const auto mode : {GhostExchangeMode::kDense, GhostExchangeMode::kDelta,
+                          GhostExchangeMode::kAuto}) {
+    const auto label = core::exchange_mode_label(mode);
+    expect_golden(Plan::distributed(4).threads(1).seed(123).exchange(mode).run(ga),
+                  kDistP4Rmat, "rmat10 " + label);
+    expect_golden(Plan::distributed(4).threads(1).seed(123).exchange(mode).run(gb),
+                  kDistP4Ssca, "ssca2 " + label);
+  }
+}
+
+TEST(ExchangeModes, DeltaSurvivesDelayAndDuplicationFaults) {
+  const auto g = rmat10();
+  const auto faults = comm::FaultPlan().with_seed(11).delay(0.05, 0.5).duplicate(0.05);
+  for (const auto mode : {GhostExchangeMode::kDense, GhostExchangeMode::kDelta}) {
+    expect_golden(Plan::distributed(4)
+                      .threads(1)
+                      .seed(123)
+                      .exchange(mode)
+                      .inject_faults(faults)
+                      .run(g),
+                  kDistP4Rmat, "faulty " + core::exchange_mode_label(mode));
+  }
+}
+
+TEST(ExchangeModes, GhostFieldContentsAgreeUnderFaultyComm) {
+  // Field-level equivalence: dense and delta exchanges leave identical slot
+  // contents even when the transport delays and duplicates messages.
+  gen::RmatParams p;
+  p.scale = 7;
+  p.edges_per_vertex = 8;
+  p.seed = 9;
+  const auto g = gen::rmat(p);
+  const auto csr = graph::from_edges(g.num_vertices, g.edges);
+
+  dc::RunOptions options;
+  options.faults = std::make_shared<dc::FaultInjector>(
+      dc::FaultPlan().with_seed(5).delay(0.1, 0.3).duplicate(0.1));
+  dc::run(
+      3,
+      [&](dc::Comm& comm) {
+        const auto dist = dg::DistGraph::from_replicated(comm, csr);
+        core::GhostField<std::int64_t> dense_field(dist, -1);
+        core::GhostField<std::int64_t> delta_field(dist, -1);
+        core::GhostExchangeConfig dense_cfg;
+        dense_cfg.mode = GhostExchangeMode::kDense;
+        core::GhostExchangeConfig delta_cfg;
+        delta_cfg.mode = GhostExchangeMode::kDelta;
+
+        std::vector<std::int64_t> owned(static_cast<std::size_t>(dist.local_count()));
+        for (int round = 0; round < 4; ++round) {
+          // A changing-but-deterministic owned pattern: only every (round+2)-th
+          // vertex moves between rounds.
+          for (VertexId lv = 0; lv < dist.local_count(); ++lv) {
+            const auto gv = dist.to_global(lv);
+            owned[static_cast<std::size_t>(lv)] =
+                gv % (round + 2) == 0 ? 1000 * round + gv : gv;
+          }
+          dense_field.exchange(comm, owned, dense_cfg);
+          delta_field.exchange(comm, owned, delta_cfg);
+          ASSERT_EQ(dense_field.values(), delta_field.values()) << "round " << round;
+          ASSERT_EQ(dense_field.last_changes().size(),
+                    delta_field.last_changes().size())
+              << "round " << round;
+        }
+      },
+      options);
+}
+
+// ---- checkpoint byte-identity across modes ----------------------------------
+
+std::vector<std::pair<std::string, std::vector<char>>> snapshot_dir(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::string, std::vector<char>>> files;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    files.emplace_back(entry.path().lexically_relative(dir).string(),
+                       std::vector<char>(std::istreambuf_iterator<char>(in),
+                                         std::istreambuf_iterator<char>()));
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ExchangeModes, CheckpointsAreByteIdenticalAcrossModes) {
+  const auto g = rmat10();
+  const auto base = std::filesystem::temp_directory_path() / "dlel_ckpt_modes";
+  std::filesystem::remove_all(base);
+
+  std::vector<std::vector<std::pair<std::string, std::vector<char>>>> snapshots;
+  for (const auto mode : {GhostExchangeMode::kDense, GhostExchangeMode::kDelta,
+                          GhostExchangeMode::kAuto}) {
+    const auto dir = base / core::exchange_mode_label(mode);
+    const auto result = Plan::distributed(2)
+                            .threads(1)
+                            .seed(123)
+                            .exchange(mode)
+                            .checkpointing(dir.string(), 1)
+                            .run(g);
+    EXPECT_GT(result.phases, 1);
+    snapshots.push_back(snapshot_dir(dir));
+  }
+  ASSERT_FALSE(snapshots[0].empty());
+  EXPECT_EQ(snapshots[0], snapshots[1]) << "dense vs delta checkpoint bytes";
+  EXPECT_EQ(snapshots[0], snapshots[2]) << "dense vs auto checkpoint bytes";
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace

@@ -71,13 +71,55 @@ TEST(GhostField, ExchangePropagatesOwnedValues) {
   }
 }
 
-TEST(GhostField, OfThrowsForNonGhost) {
+TEST(GhostField, AtThrowsForNonGhost) {
   const auto g = path_graph(6);
   dc::run(2, [&](dc::Comm& comm) {
     const auto dist = dg::DistGraph::from_replicated(comm, g);
     const core::GhostField<std::int64_t> field(dist, 0);
-    // An owned vertex is never a ghost.
-    EXPECT_THROW((void)field.of(dist.v_begin()), std::out_of_range);
+    // An owned vertex is never a ghost; the checked accessor reports it.
+    EXPECT_THROW((void)field.at(dist.v_begin()), std::out_of_range);
+  });
+}
+
+TEST(GhostField, DeltaExchangeMatchesDenseAndReportsChanges) {
+  const auto g = path_graph(10);
+  dc::run(3, [&](dc::Comm& comm) {
+    const auto dist = dg::DistGraph::from_replicated(comm, g);
+    std::vector<std::int64_t> owned(static_cast<std::size_t>(dist.local_count()));
+    for (VertexId lv = 0; lv < dist.local_count(); ++lv)
+      owned[static_cast<std::size_t>(lv)] = dist.to_global(lv);
+
+    core::GhostField<std::int64_t> dense_field(dist, 0);
+    core::GhostField<std::int64_t> delta_field(dist, 0);
+    core::GhostExchangeConfig dense_cfg;
+    dense_cfg.mode = core::GhostExchangeMode::kDense;
+    core::GhostExchangeConfig delta_cfg;
+    delta_cfg.mode = core::GhostExchangeMode::kDelta;
+
+    // Round 1: everything differs from the fill value.
+    dense_field.exchange(comm, owned, dense_cfg);
+    delta_field.exchange(comm, owned, delta_cfg);
+    EXPECT_EQ(dense_field.values(), delta_field.values());
+    EXPECT_EQ(dense_field.last_changes().size(), delta_field.last_changes().size());
+
+    // Round 2: nothing moved; neither mode may report changes.
+    dense_field.exchange(comm, owned, dense_cfg);
+    delta_field.exchange(comm, owned, delta_cfg);
+    EXPECT_TRUE(dense_field.last_changes().empty());
+    EXPECT_TRUE(delta_field.last_changes().empty());
+
+    // Round 3: one owned value changes; both modes agree again and the
+    // change log carries the old value.
+    owned[0] = -owned[0] - 1;
+    dense_field.exchange(comm, owned, dense_cfg);
+    delta_field.exchange(comm, owned, delta_cfg);
+    EXPECT_EQ(dense_field.values(), delta_field.values());
+    EXPECT_EQ(dense_field.last_changes().size(), delta_field.last_changes().size());
+    for (std::size_t i = 0; i < dense_field.last_changes().size(); ++i) {
+      EXPECT_EQ(dense_field.last_changes()[i].slot, delta_field.last_changes()[i].slot);
+      EXPECT_EQ(dense_field.last_changes()[i].old_value,
+                delta_field.last_changes()[i].old_value);
+    }
   });
 }
 
@@ -121,13 +163,10 @@ TEST(CommunityLedger, RemoteMoveFlowsThroughDeltas) {
         dg::DistGraph::from_replicated(comm, g, dg::PartitionKind::kEvenVertices);
     core::CommunityLedger ledger(dist);
 
-    // Both ranks refresh so rank 0 has community 2 in its ghost cache.
-    std::vector<CommunityId> needed;
-    for (VertexId lv = 0; lv < dist.local_count(); ++lv)
-      needed.push_back(dist.to_global(lv));
-    for (const auto ghost : dist.ghosts()) needed.push_back(ghost);
-    std::sort(needed.begin(), needed.end());
-    ledger.refresh(comm, needed);
+    // Both ranks retain their ghost communities and refresh, so rank 0 has
+    // community 2 in its ghost cache.
+    for (const auto ghost : dist.ghosts()) ledger.retain(ghost);
+    ledger.refresh(comm);
 
     if (comm.rank() == 0) {
       ledger.apply_move(1, 2, dist.weighted_degree(1));

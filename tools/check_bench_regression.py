@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Guard the committed perf trail (BENCH_PR3.json and successors).
+
+Runs the micro_kernels PR3 emitter (when --bench is given) on a small input,
+then compares the fresh numbers against the committed baseline:
+
+  * every kernel present in both files must not be more than --tolerance
+    slower per arc than the baseline (faster is always fine);
+  * the machine-independent speedup floor: the flat local-move kernel must
+    stay at least --min-speedup x faster than the hash baseline measured in
+    the SAME run (this is the PR3 acceptance bar and does not depend on what
+    hardware recorded the baseline).
+
+Exit code 0 = within bounds, 1 = regression or malformed input.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_PR3.json \
+      --bench build/bench/micro_kernels --scale 12 --dist-scale 10 --reps 3
+  check_bench_regression.py --baseline BENCH_PR3.json --current fresh.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--current", help="fresh results JSON (skip running the bench)")
+    parser.add_argument("--bench", help="micro_kernels binary to produce fresh results")
+    parser.add_argument("--scale", type=int, default=12, help="RMAT scale for --bench")
+    parser.add_argument("--dist-scale", type=int, default=10,
+                        help="RMAT scale for the breakdown run")
+    parser.add_argument("--reps", type=int, default=3, help="best-of repetitions")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed per-kernel slowdown vs baseline (0.25 = 25%%)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required hash/flat local-move ratio in the fresh run")
+    args = parser.parse_args()
+
+    if bool(args.current) == bool(args.bench):
+        parser.error("pass exactly one of --current or --bench")
+
+    if args.bench:
+        fd, current_path = tempfile.mkstemp(suffix=".json", prefix="bench_pr3_")
+        os.close(fd)
+        cmd = [
+            args.bench,
+            f"--pr3_json={current_path}",
+            f"--pr3_scale={args.scale}",
+            f"--pr3_dist_scale={args.dist_scale}",
+            f"--pr3_reps={args.reps}",
+        ]
+        print("+", " ".join(cmd), flush=True)
+        result = subprocess.run(cmd)
+        if result.returncode != 0:
+            print(f"FAIL: bench exited with {result.returncode}")
+            return 1
+    else:
+        current_path = args.current
+
+    baseline = load(args.baseline)
+    current = load(current_path)
+
+    failures = []
+    base_kernels = baseline.get("kernels", {})
+    curr_kernels = current.get("kernels", {})
+    same_input = baseline.get("graph") == current.get("graph")
+    for name in sorted(set(base_kernels) & set(curr_kernels)):
+        base_ns = base_kernels[name]["ns_per_arc"]
+        curr_ns = curr_kernels[name]["ns_per_arc"]
+        slowdown = curr_ns / base_ns - 1.0
+        status = "ok"
+        # A smaller smoke input can legitimately be faster per arc (cache
+        # residency); only a SLOWDOWN beyond tolerance fails.
+        if slowdown > args.tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {curr_ns:.2f} ns/arc vs baseline {base_ns:.2f} "
+                f"(+{100 * slowdown:.1f}% > {100 * args.tolerance:.0f}%)")
+        note = "" if same_input else " [different input size]"
+        print(f"{name}: {curr_ns:8.2f} ns/arc  baseline {base_ns:8.2f}  "
+              f"({slowdown:+.1%}) {status}{note}")
+
+    ratio = current.get("ratios", {}).get("local_move_hash_over_flat")
+    if ratio is None:
+        failures.append("current results carry no local_move_hash_over_flat ratio")
+    else:
+        print(f"local-move speedup (hash/flat, same machine): {ratio:.2f}x "
+              f"(floor {args.min_speedup:.2f}x)")
+        if ratio < args.min_speedup:
+            failures.append(
+                f"flat local-move kernel only {ratio:.2f}x faster than the hash "
+                f"baseline (floor {args.min_speedup:.2f}x)")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 //   --ranks <p>                    in-process ranks (default 4)
 //   --threads <t>                  compute threads per rank (default 1)
 //   --coloring                     colour-constrained sweeps (Section VI)
+//   --exchange dense|delta|auto    ghost update wire format (default auto)
 //   --output <file>                write "vertex community" lines
 //   --stats                        print degree/component statistics first
 //
@@ -94,6 +95,8 @@ int run_cli(int argc, char** argv) {
   const int threads =
       static_cast<int>(cli.get_int("threads", 1, "compute threads per rank (<=0 = auto)"));
   const bool coloring = cli.get_flag("coloring", false, "colour-constrained sweeps");
+  const auto exchange_name =
+      cli.get_string("exchange", "auto", "ghost update wire format: dense|delta|auto");
   const auto output = cli.get_string("output", "", "write 'vertex community' lines");
   const bool stats = cli.get_flag("stats", false, "print graph statistics first");
   const int summary = static_cast<int>(
@@ -129,6 +132,12 @@ int run_cli(int argc, char** argv) {
   if (!variant) {
     std::cerr << "dlouvain: unknown --variant '" << variant_name
               << "' (expected baseline|tc|et|etc)\n";
+    return 1;
+  }
+  const auto exchange = core::parse_exchange_mode(exchange_name);
+  if (!exchange) {
+    std::cerr << "dlouvain: unknown --exchange '" << exchange_name
+              << "' (expected dense|delta|auto)\n";
     return 1;
   }
 
@@ -175,6 +184,7 @@ int run_cli(int argc, char** argv) {
                   .variant(*variant)
                   .alpha(alpha)
                   .coloring(coloring)
+                  .exchange(*exchange)
                   .comm_timeout(comm_timeout)
                   .max_restarts(max_restarts);
   if (!checkpoint_dir.empty()) plan.checkpointing(checkpoint_dir, checkpoint_every);
