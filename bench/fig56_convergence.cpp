@@ -8,6 +8,7 @@
 
 #include "bench/harness.hpp"
 #include "core/dist_louvain.hpp"
+#include "core/metrics.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -32,6 +33,20 @@ void write_csv(const std::string& path, const std::string& graph,
   }
 }
 
+/// Accumulate one run manifest (docs/OBSERVABILITY.md) into the JSON array
+/// written by --metrics-out, tagged with its graph and variant label.
+void append_manifest(std::string& out, const std::string& graph,
+                     const std::string& label,
+                     const dlouvain::core::DistResult& result) {
+  if (out.empty())
+    out += "[";
+  else
+    out += ",";
+  out += "\n{\"graph\":\"" + dlouvain::core::json_escape(graph) +
+         "\",\"variant\":\"" + dlouvain::core::json_escape(label) +
+         "\",\"manifest\":" + dlouvain::core::dist_result_to_json(result) + "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,7 +56,10 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.5, "surrogate size multiplier");
   const int ranks = static_cast<int>(cli.get_int("ranks", 8, "in-process ranks"));
   const auto csv = cli.get_string("csv", "", "write per-iteration series to CSV");
+  const auto metrics_out =
+      cli.get_string("metrics-out", "", "write a JSON array of run manifests here");
   if (!cli.finish()) return 1;
+  std::string manifests;
 
   bench::banner("Figs. 5-6: convergence characteristics (modularity & iterations per phase)",
                 "nlpkkt240 and web-cc12-PayLevelDomain on 64 processes",
@@ -60,8 +78,11 @@ int main(int argc, char** argv) {
     // Collect runs first so both sub-figures come from the same executions.
     std::vector<core::DistResult> results;
     results.reserve(variants.size());
-    for (const auto& cfg : variants)
+    for (const auto& cfg : variants) {
       results.push_back(core::dist_louvain_inprocess(ranks, csr, cfg));
+      if (!metrics_out.empty())
+        append_manifest(manifests, name, bench::label_of(cfg), results.back());
+    }
 
     if (!csv.empty()) {
       std::vector<std::string> labels;
@@ -111,6 +132,13 @@ int main(int argc, char** argv) {
     }
     summary.print(std::cout);
     std::cout << '\n';
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + metrics_out);
+    out << manifests << "\n]\n";
+    std::cout << "(run manifests written to " << metrics_out << ")\n";
   }
   return 0;
 }

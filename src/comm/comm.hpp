@@ -51,6 +51,17 @@ class Comm {
   [[nodiscard]] bool is_root() const noexcept { return rank_ == 0; }
   [[nodiscard]] World& world() const noexcept { return *world_; }
 
+  /// This rank's counter block (keyed by WORLD rank, so split children keep
+  /// counting into the same block as their parent rank). Only call from the
+  /// owning rank's thread -- the block is deliberately not atomic.
+  [[nodiscard]] util::CounterBlock& counters() {
+    return world_->counters(to_world(rank_));
+  }
+  /// This rank's trace ring, or nullptr when tracing is off.
+  [[nodiscard]] util::TraceBuffer* trace() const {
+    return world_->trace(to_world(rank_));
+  }
+
   /// Crash trigger for deterministic fault injection: algorithm code calls
   /// this at well-defined progress points ({phase, iteration}); if the
   /// world's FaultPlan pins a crash of this rank there, the rank dies by
@@ -73,9 +84,11 @@ class Comm {
   /// its split children.
   void send_bytes(Rank dst, Tag tag, std::vector<std::byte> payload) {
     check_rank(dst);
-    world_->messages_sent.fetch_add(1, std::memory_order_relaxed);
-    world_->bytes_sent.fetch_add(static_cast<std::int64_t>(payload.size()),
-                                 std::memory_order_relaxed);
+    // Plain increments into the SENDER's block: send_bytes always runs on
+    // the sending rank's thread (single-writer contract, util/metrics.hpp).
+    util::CounterBlock& ctr = world_->counters(to_world(rank_));
+    ctr[util::Counter::kMessages] += 1;
+    ctr[util::Counter::kBytes] += static_cast<std::int64_t>(payload.size());
     world_->mailbox(to_world(dst)).put(Message{rank_, pack_tag(tag), std::move(payload)});
   }
 

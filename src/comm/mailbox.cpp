@@ -87,11 +87,13 @@ Message Mailbox::get(Rank src, Tag tag) {
       if (it->visible_at <= now) {
         auto& expected = next_deliver_seq_[stream_key(src, tag)];
         if (it->seq < expected) {
-          // Duplicate delivery: drop and keep scanning.
+          // Duplicate delivery: drop and keep scanning. The counter goes
+          // into the RECEIVER's block -- get() runs on the owner's thread,
+          // honouring the single-writer contract of util/metrics.hpp.
           queue_.erase(it);
           ++duplicates_dropped_;
           if (world_ != nullptr)
-            world_->duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+            world_->counters(owner_)[util::Counter::kDuplicatesDropped] += 1;
           continue;
         }
         if (it->seq > expected) {

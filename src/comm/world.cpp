@@ -11,6 +11,13 @@ namespace dlouvain::comm {
 
 World::World(int size, const RunOptions& options) : options_(options) {
   if (size <= 0) throw std::invalid_argument("world size must be positive");
+  metrics_ = options_.metrics;
+  if (!metrics_) metrics_ = std::make_shared<util::MetricsRegistry>(size);
+  if (metrics_->num_ranks() < size)
+    throw std::invalid_argument("RunOptions::metrics registry smaller than world");
+  trace_ = options_.trace;
+  if (trace_ && trace_->num_ranks() < size)
+    throw std::invalid_argument("RunOptions::trace store smaller than world");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>(this, r, options_.timeout_seconds,
@@ -76,8 +83,14 @@ TrafficReport run(int nranks, const std::function<void(Comm&)>& fn,
   }
 
   if (first_error) std::rethrow_exception(first_error);
-  TrafficReport report{world.messages_sent.load(), world.bytes_sent.load(),
-                       world.duplicates_dropped.load()};
+  // Joining (or inline execution) above gives the happens-before edge for
+  // reading the per-rank counter blocks. Report TOTAL traffic: algorithm
+  // messages plus any reclassified checkpoint I/O.
+  const util::MetricsSnapshot totals = world.metrics().total();
+  TrafficReport report{
+      totals[util::Counter::kMessages] + totals[util::Counter::kCheckpointMessages],
+      totals[util::Counter::kBytes] + totals[util::Counter::kCheckpointBytes],
+      totals[util::Counter::kDuplicatesDropped]};
   if (const auto* inj = world.injector()) {
     report.injected_delays = inj->delayed.load();
     report.injected_duplicates = inj->duplicated.load();

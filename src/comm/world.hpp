@@ -11,14 +11,16 @@
 // message. Both default off, so existing callers are unchanged.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "comm/mailbox.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace dlouvain::comm {
 
@@ -34,6 +36,15 @@ struct RunOptions {
   /// Shared so crash triggers stay one-shot across restart attempts of the
   /// same job. Null = no fault injection.
   std::shared_ptr<FaultInjector> faults;
+  /// Per-rank counter registry. Null = World creates its own (reachable via
+  /// World::metrics()). Pass one per recovery attempt so failed-attempt
+  /// traffic stays attributable instead of leaking into the next attempt.
+  /// Must be sized to the world size.
+  std::shared_ptr<util::MetricsRegistry> metrics;
+  /// Null = tracing off (the default; spans become no-ops). Sized to at
+  /// least the world size. May outlive several attempts: failed-attempt
+  /// spans stay in the rings and flush alongside the successful run's.
+  std::shared_ptr<util::TraceStore> trace;
 };
 
 /// Shared state for one group of ranks. Created by run(); user code only
@@ -55,14 +66,22 @@ class World {
   /// other's report.
   [[nodiscard]] std::string deadlock_report(Rank reporting) const;
 
-  /// Cumulative traffic counters (all ranks). Used by telemetry to report
-  /// communication volume the way the paper's HPCToolkit analysis does.
-  std::atomic<std::int64_t> messages_sent{0};
-  std::atomic<std::int64_t> bytes_sent{0};
-  std::atomic<std::int64_t> duplicates_dropped{0};
+  /// Per-rank counter registry (replaces the old World-wide atomics). Each
+  /// rank counts into its own cache-line-aligned block from its own thread
+  /// -- see util/metrics.hpp for the single-writer contract.
+  [[nodiscard]] util::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] util::CounterBlock& counters(Rank world_rank) {
+    return metrics_->rank(world_rank);
+  }
+  /// Rank's trace ring, or nullptr when tracing is off.
+  [[nodiscard]] util::TraceBuffer* trace(Rank world_rank) const {
+    return trace_ ? trace_->buffer(world_rank) : nullptr;
+  }
 
  private:
   RunOptions options_;
+  std::shared_ptr<util::MetricsRegistry> metrics_;
+  std::shared_ptr<util::TraceStore> trace_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

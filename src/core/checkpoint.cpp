@@ -20,7 +20,12 @@ namespace {
 
 constexpr std::uint64_t kMetaMagic = 0x444c434b4d455431ULL;   // "DLCKMET1"
 constexpr std::uint64_t kChainMagic = 0x444c434b43484e31ULL;  // "DLCKCHN1"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kCountersMagic = 0x444c434b43545231ULL;  // "DLCKCTR1"
+// v2 (ISSUE 4): adds the sibling counters.bin file. The meta.bin field
+// layout is unchanged, so v1 checkpoints stay readable -- they simply have
+// no counters file and resume with zero restored counters.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 // ---- CRC-sealed little record files ------------------------------------
 
@@ -106,7 +111,9 @@ struct MetaInfo {
 std::optional<MetaInfo> read_meta(const fs::path& path) {
   ByteReader in(path);
   if (!in.ok()) return std::nullopt;
-  if (in.get_u64() != kMetaMagic || in.get_u32() != kVersion) return std::nullopt;
+  if (in.get_u64() != kMetaMagic) return std::nullopt;
+  const std::uint32_t version = in.get_u32();
+  if (version < kMinVersion || version > kVersion) return std::nullopt;
   MetaInfo meta;
   meta.ranks = in.get_i32();
   meta.state.next_phase = in.get_i32();
@@ -131,6 +138,22 @@ std::optional<std::vector<VertexId>> read_chain(const fs::path& path) {
   for (auto& v : chain) v = in.get_i64();
   if (!in.ok()) return std::nullopt;
   return chain;
+}
+
+/// Best-effort read of the v2 counters sidecar: zeros (never nullopt-like
+/// failure) when the file is absent, short or corrupt, so a v1 checkpoint or
+/// a damaged sidecar degrades to "no restored counters" instead of refusing
+/// to resume.
+RunCounters read_counters(const fs::path& path) {
+  ByteReader in(path);
+  if (!in.ok()) return {};
+  if (in.get_u64() != kCountersMagic) return {};
+  RunCounters c;
+  c.seconds = in.get_f64_bits();
+  c.messages = in.get_i64();
+  c.bytes = in.get_i64();
+  if (!in.ok() || c.messages < 0 || c.bytes < 0) return {};
+  return c;
 }
 
 bool graph_file_valid(const fs::path& path) {
@@ -207,6 +230,12 @@ void checkpoint_save(comm::Comm& comm, const std::string& dir,
                      const graph::DistGraph& g, std::span<const VertexId> orig_to_cur,
                      VertexId orig_global_n, const CheckpointState& state,
                      std::uint64_t fingerprint) {
+  // All comm traffic below (chain gather, barriers, collective graph write)
+  // is checkpoint I/O, not algorithm work: reclassify it so Result::messages
+  // and Result::bytes mean the same thing with and without checkpointing.
+  const util::TrafficReclassScope reclass(comm.counters(),
+                                          util::Counter::kCheckpointMessages,
+                                          util::Counter::kCheckpointBytes);
   // Rank-order concatenation of the per-rank slices IS the global array
   // (the chain lives on contiguous partitions).
   const auto chain = comm.gatherv<VertexId>(
@@ -242,6 +271,13 @@ void checkpoint_save(comm::Comm& comm, const std::string& dir,
     for (const VertexId v : chain) chain_out.put_i64(v);
     chain_out.write(tmp / "chain.bin");
 
+    ByteWriter counters_out;
+    counters_out.put_u64(kCountersMagic);
+    counters_out.put_f64_bits(state.counters.seconds);
+    counters_out.put_i64(state.counters.messages);
+    counters_out.put_i64(state.counters.bytes);
+    counters_out.write(tmp / "counters.bin");
+
     // Commit: tmp -> phase_<k>, then drop superseded checkpoints. A crash
     // before the rename leaves the previous checkpoint untouched.
     const fs::path final_dir = phase_dir(dir, state.next_phase);
@@ -254,16 +290,28 @@ void checkpoint_save(comm::Comm& comm, const std::string& dir,
     for (const int k : candidate_phases(dir)) {
       if (k != state.next_phase) fs::remove_all(phase_dir(dir, k));
     }
+
+    std::error_code ec;
+    std::int64_t file_bytes = 0;
+    for (const auto& entry : fs::directory_iterator(final_dir, ec)) {
+      if (entry.is_regular_file(ec))
+        file_bytes += static_cast<std::int64_t>(entry.file_size(ec));
+    }
+    comm.counters()[util::Counter::kCheckpointFileBytes] += file_bytes;
   }
   comm.barrier();  // checkpoint committed before any rank proceeds
 }
 
 std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string& dir,
                                             std::uint64_t fingerprint) {
+  // Load traffic is checkpoint I/O, same as save (see checkpoint_save).
+  const util::TrafficReclassScope reclass(comm.counters(),
+                                          util::Counter::kCheckpointMessages,
+                                          util::Counter::kCheckpointBytes);
   // Rank 0 picks the newest structurally-valid checkpoint; everyone agrees
   // on the verdict before any collective I/O.
   enum : std::int64_t { kNone = 0, kOk = 1, kConfigMismatch = 2 };
-  std::vector<std::int64_t> header(8, 0);
+  std::vector<std::int64_t> header(11, 0);
   if (comm.rank() == 0) {
     for (const int k : candidate_phases(dir)) {
       const auto meta = validate_checkpoint(dir, k);
@@ -272,6 +320,7 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
         header[0] = kConfigMismatch;
         break;
       }
+      const RunCounters counters = read_counters(phase_dir(dir, k) / "counters.bin");
       header = {kOk,
                 k,
                 meta->state.next_phase,
@@ -280,7 +329,10 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
                 meta->orig_global_n,
                 static_cast<std::int64_t>(
                     std::bit_cast<std::uint64_t>(meta->state.prev_outer_mod)),
-                meta->state.forced_final ? 1 : 0};
+                meta->state.forced_final ? 1 : 0,
+                static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(counters.seconds)),
+                counters.messages,
+                counters.bytes};
       break;
     }
   }
@@ -302,6 +354,10 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
   resumed.state.prev_outer_mod =
       std::bit_cast<double>(static_cast<std::uint64_t>(header[6]));
   resumed.state.forced_final = header[7] != 0;
+  resumed.state.counters.seconds =
+      std::bit_cast<double>(static_cast<std::uint64_t>(header[8]));
+  resumed.state.counters.messages = header[9];
+  resumed.state.counters.bytes = header[10];
 
   // Coarse graphs always live on the even-vertices partition (rebuild's
   // choice), so loading with kEvenVertices reproduces the exact partition at
@@ -331,6 +387,14 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
 std::optional<int> checkpoint_latest_phase(const std::string& dir) {
   for (const int k : candidate_phases(dir)) {
     if (validate_checkpoint(dir, k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<RunCounters> checkpoint_latest_counters(const std::string& dir) {
+  for (const int k : candidate_phases(dir)) {
+    if (validate_checkpoint(dir, k))
+      return read_counters(phase_dir(dir, k) / "counters.bin");
   }
   return std::nullopt;
 }

@@ -11,10 +11,18 @@
 // sufficient for bitwise-identical continuation at the same rank count.
 //
 // On-disk layout (one directory per job):
-//   <dir>/phase_<k>/meta.bin    scalars + config fingerprint, CRC32-sealed
-//   <dir>/phase_<k>/graph.dlel  coarse graph via graph::write_distributed
-//   <dir>/phase_<k>/chain.bin   global orig_to_cur array, CRC32-sealed
-//   <dir>/LATEST                name of the newest complete checkpoint
+//   <dir>/phase_<k>/meta.bin      scalars + config fingerprint, CRC32-sealed
+//   <dir>/phase_<k>/graph.dlel    coarse graph via graph::write_distributed
+//   <dir>/phase_<k>/chain.bin     global orig_to_cur array, CRC32-sealed
+//   <dir>/phase_<k>/counters.bin  cumulative run counters (v2), CRC32-sealed
+//   <dir>/LATEST                  name of the newest complete checkpoint
+//
+// counters.bin is deliberately a SEPARATE file: meta/graph/chain stay
+// byte-identical across ghost-exchange wire modes (a PR3 invariant), while
+// the counters legitimately differ (delta mode ships fewer bytes) and the
+// elapsed-seconds field is wall-clock. A missing or corrupt counters.bin
+// never invalidates a checkpoint -- resume proceeds with zero restored
+// counters, exactly the v1 behaviour.
 //
 // Writes are atomic: everything lands in a tmp directory that is renamed
 // into place before LATEST is updated, so a crash mid-checkpoint leaves the
@@ -44,6 +52,17 @@
 
 namespace dlouvain::core {
 
+/// Cumulative global run counters at a phase boundary: wall seconds elapsed
+/// and ALGORITHM messages/bytes (checkpoint I/O excluded) since the original
+/// job start, summed over all ranks. Persisted so a resumed run reports
+/// whole-job totals, consistent with phases/total_iterations (the satellite-3
+/// fix; the reporting rule is documented in core/telemetry.hpp).
+struct RunCounters {
+  double seconds{0};
+  std::int64_t messages{0};
+  std::int64_t bytes{0};
+};
+
 /// Outer-loop scalars saved at a phase boundary ("about to run next_phase").
 struct CheckpointState {
   int next_phase{0};
@@ -51,6 +70,7 @@ struct CheckpointState {
   std::int64_t iterations_done{0};
   Weight prev_outer_mod{0};  ///< stored as raw bits, restored exactly
   bool forced_final{false};
+  RunCounters counters;  ///< cumulative totals at this boundary (v2; zero in v1)
 };
 
 /// Everything checkpoint_load reconstructs for this rank.
@@ -84,5 +104,12 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
 /// Non-collective peek (for the recovery driver between attempts): the phase
 /// index of the newest structurally-valid checkpoint in `dir`, if any.
 std::optional<int> checkpoint_latest_phase(const std::string& dir);
+
+/// Non-collective peek at the newest valid checkpoint's persisted run
+/// counters. nullopt when there is no valid checkpoint; zeros when the
+/// checkpoint predates v2 or its counters.bin is missing/corrupt. The
+/// recovery driver uses before/after deltas of this to split a failed
+/// attempt's traffic into salvaged (checkpointed) and wasted.
+std::optional<RunCounters> checkpoint_latest_counters(const std::string& dir);
 
 }  // namespace dlouvain::core

@@ -319,6 +319,11 @@ void CommunityLedger::refresh(comm::Comm& comm) {
     }
   }
 
+  {
+    std::int64_t records = 0;
+    for (const auto& slot : outbox) records += static_cast<std::int64_t>(slot.size());
+    comm.counters()[util::Counter::kLedgerRefreshRecords] += records;
+  }
   const auto answers = comm.alltoallv<InfoRecord>(std::move(outbox));
 
   for (const auto& from_rank : answers) {
@@ -346,6 +351,11 @@ void CommunityLedger::flush_deltas(comm::Comm& comm) {
   }
   pending_touched_.clear();
 
+  {
+    std::int64_t records = 0;
+    for (const auto& slot : outbox) records += static_cast<std::int64_t>(slot.size());
+    comm.counters()[util::Counter::kLedgerDeltaRecords] += records;
+  }
   const auto inbox = comm.alltoallv<DeltaRecord>(std::move(outbox));
   for (const auto& from_rank : inbox) {
     for (const auto& rec : from_rank) {

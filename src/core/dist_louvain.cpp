@@ -9,10 +9,12 @@
 #include "core/ghost_exchange.hpp"
 #include "core/rebuild.hpp"
 #include "louvain/early_term.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 #include "util/scatter.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace dlouvain::core {
 
@@ -65,6 +67,30 @@ Weight local_intra_weight(util::ThreadPool& pool, const graph::DistGraph& g,
       });
 }
 
+/// Per-phase breakdown timers. Owned by dist_louvain and REUSED across
+/// phases; clear() at the top of run_phase is load-bearing -- timers that
+/// survive a phase un-cleared would silently fold phases 0..N-1 into phase
+/// N's breakdown (the satellite-2 bug class). test_telemetry pins
+/// sum over phases of PhaseTelemetry::breakdown == DistResult::breakdown and
+/// each phase's breakdown.total() <= its wall seconds.
+struct PhaseTimers {
+  util::AccumTimer ghost;
+  util::AccumTimer cinfo;
+  util::AccumTimer compute;
+  util::AccumTimer delta;
+  util::AccumTimer allreduce;
+  double compute_busy{0};
+
+  void clear() {
+    ghost.clear();
+    cinfo.clear();
+    compute.clear();
+    delta.clear();
+    allreduce.clear();
+    compute_busy = 0;
+  }
+};
+
 /// One Louvain phase on the current distributed graph. Returns the final
 /// owned assignment (by local vertex index) and the phase's exact final
 /// modularity, with telemetry filled in.
@@ -77,7 +103,8 @@ struct PhaseResult {
 
 PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
                       const DistConfig& cfg, int phase, double tau,
-                      util::ThreadPool& pool, PhaseTelemetry& telemetry) {
+                      util::ThreadPool& pool, PhaseTimers& timers,
+                      PhaseTelemetry& telemetry) {
   const VertexId local_n = g.local_count();
   const VertexId global_n = g.global_n();
   const Weight two_m = g.total_weight();
@@ -93,12 +120,9 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
              cfg.base.et_inactive_cutoff, cfg.base.seed);
   std::vector<char> moved(static_cast<std::size_t>(local_n), 0);
 
-  util::AccumTimer t_ghost;
-  util::AccumTimer t_cinfo;
-  util::AccumTimer t_compute;
-  util::AccumTimer t_delta;
-  util::AccumTimer t_allreduce;
-  double compute_busy = 0;
+  timers.clear();  // this phase's breakdown starts from zero, every phase
+  util::TraceBuffer* tb = comm.trace();
+  const util::TraceSpan phase_span(tb, "phase", "phase", phase);
 
   // Phase-initial modularity: singleton partition of the current graph --
   // by the coarsening invariance this equals the previous phase's final
@@ -183,6 +207,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // Deterministic crash trigger: a FaultPlan entry pinned to this rank at
     // (phase, iter) fires here, before any of the iteration's collectives.
     comm.fault_point(phase, iter);
+    const util::TraceSpan iter_span(tb, "iteration", "iteration", phase, iter);
     std::int64_t local_active = 0;
     std::int64_t local_moved = 0;
     std::fill(moved.begin(), moved.end(), 0);
@@ -192,7 +217,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
       std::swap(order[i - 1], order[order_rng.next_below(i)]);
     // (i) latest community assignments for all ghost vertices (Alg. 3 l.4-5).
     {
-      util::ScopedAccum scope(t_ghost);
+      util::ScopedAccum scope(timers.ghost);
+      const util::TraceSpan span(tb, "ghost_exchange", "collective", phase, iter);
       state.ghosts.exchange(comm, state.owned_community, xcfg);
     }
 
@@ -202,7 +228,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // mirror), then the subscriber-push refresh fetches only what this rank
     // newly needs and absorbs owners' pushes for records that changed.
     {
-      util::ScopedAccum scope(t_cinfo);
+      util::ScopedAccum scope(timers.cinfo);
+      const util::TraceSpan span(tb, "community_info", "collective", phase, iter);
       for (const auto& change : state.ghosts.last_changes()) {
         state.ledger.release(change.old_value);
         ghost_comm_slot[static_cast<std::size_t>(change.slot)] = state.ledger.retain(
@@ -226,7 +253,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // against slightly stale neighbour state -- the same staleness the
     // algorithm already tolerates ACROSS ranks every iteration.
     {
-      util::ScopedAccum scope(t_compute);
+      util::ScopedAccum scope(timers.compute);
+      const util::TraceSpan span(tb, "compute", "compute", phase, iter);
       pool.reset_busy();
       const auto group_n = static_cast<std::int64_t>(order.size());
       // The ledger's slot space is fixed for the whole sweep: new slots are
@@ -345,12 +373,15 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
           ++local_moved;
         }
       }
-      compute_busy += pool.busy_seconds();
+      const double busy = pool.busy_seconds();
+      timers.compute_busy += busy;
+      comm.counters().busy_seconds += busy;
     }
 
     // (iv) ship community deltas to their owners (Alg. 3 l.10-11).
     {
-      util::ScopedAccum scope(t_delta);
+      util::ScopedAccum scope(timers.delta);
+      const util::TraceSpan span(tb, "delta_exchange", "collective", phase, iter);
       state.ledger.flush_deltas(comm);
     }
     }  // group loop
@@ -359,7 +390,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     Weight curr_mod;
     std::int64_t global_moved;
     {
-      util::ScopedAccum scope(t_allreduce);
+      util::ScopedAccum scope(timers.allreduce);
+      const util::TraceSpan span(tb, "allreduce", "collective", phase, iter);
       const Weight intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
       const Weight degree_term = state.ledger.owned_degree_term();
       const auto sums = comm.allreduce_sum_vec<Weight>(
@@ -395,7 +427,8 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // cap.) A globally quiescent iteration always ends the phase.
     bool exit_phase = global_moved == 0 || curr_mod - prev_mod <= tau;
     if (cfg.variant == Variant::kEtc) {
-      util::ScopedAccum scope(t_allreduce);
+      util::ScopedAccum scope(timers.allreduce);
+      const util::TraceSpan span(tb, "allreduce", "collective", phase, iter);
       const auto global_inactive = comm.allreduce_sum<std::int64_t>(et.inactive_count());
       if (cfg.record_iterations)
         telemetry.iteration_detail.back().inactive_vertices = global_inactive;
@@ -411,11 +444,13 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   // final assignments, then the same reduction. (The change log is not
   // consumed -- no sweep reads the ledger after this point.)
   {
-    util::ScopedAccum scope(t_ghost);
+    util::ScopedAccum scope(timers.ghost);
+    const util::TraceSpan span(tb, "ghost_exchange", "collective", phase);
     state.ghosts.exchange(comm, state.owned_community, xcfg);
   }
   {
-    util::ScopedAccum scope(t_allreduce);
+    util::ScopedAccum scope(timers.allreduce);
+    const util::TraceSpan span(tb, "allreduce", "collective", phase);
     const Weight intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
     const Weight degree_term = state.ledger.owned_degree_term();
     const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
@@ -429,12 +464,12 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   telemetry.graph_arcs = g.global_arcs();
   telemetry.threshold_used = tau;
   telemetry.modularity_after = state.final_modularity;
-  telemetry.breakdown.ghost_exchange = t_ghost.seconds();
-  telemetry.breakdown.community_info = t_cinfo.seconds();
-  telemetry.breakdown.compute = t_compute.seconds();
-  telemetry.breakdown.compute_busy = compute_busy;
-  telemetry.breakdown.delta_exchange = t_delta.seconds();
-  telemetry.breakdown.allreduce = t_allreduce.seconds();
+  telemetry.breakdown.ghost_exchange = timers.ghost.seconds();
+  telemetry.breakdown.community_info = timers.cinfo.seconds();
+  telemetry.breakdown.compute = timers.compute.seconds();
+  telemetry.breakdown.compute_busy = timers.compute_busy;
+  telemetry.breakdown.delta_exchange = timers.delta.seconds();
+  telemetry.breakdown.allreduce = timers.allreduce.seconds();
   return state;
 }
 
@@ -443,8 +478,13 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConfig& cfg,
                         std::atomic<int>* phase_progress) {
   util::WallTimer total_timer;
-  const std::int64_t messages_before = comm.world().messages_sent.load();
-  const std::int64_t bytes_before = comm.world().bytes_sent.load();
+  // This rank's counter block and its entry snapshot: everything this run
+  // reports is a delta against the snapshot, so back-to-back runs on one
+  // World (or discarded recovery attempts -- the satellite-1 fix) never
+  // leak traffic into each other.
+  util::CounterBlock& ctr = comm.counters();
+  const util::CounterBlock start_ctr = ctr;
+  util::TraceBuffer* tb = comm.trace();
 
   // The rank's compute pool, shared by every phase's move scan, modularity
   // reduction, and rebuild (the per-rank half of the MPI+OpenMP hybrid).
@@ -467,6 +507,7 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   bool resumed = false;
 
   if (cfg.checkpoint.resume && !cfg.checkpoint.dir.empty()) {
+    const util::TraceSpan span(tb, "checkpoint_load", "checkpoint");
     if (auto loaded = checkpoint_load(comm, cfg.checkpoint.dir, fingerprint)) {
       graph = std::move(loaded->graph);
       orig_to_cur = std::move(loaded->orig_to_cur);
@@ -477,6 +518,13 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
       result.phases = loaded->state.phases_done;
       result.total_iterations = loaded->state.iterations_done;
       result.resumed_from_phase = start_phase;
+      // Satellite-3 fix: the checkpoint also restores the cumulative
+      // seconds/messages/bytes of the pre-checkpoint portion, so the final
+      // result covers the whole job -- the rule phases/total_iterations just
+      // above always followed (documented in telemetry.hpp).
+      result.restored.seconds = loaded->state.counters.seconds;
+      result.restored.messages = loaded->state.counters.messages;
+      result.restored.bytes = loaded->state.counters.bytes;
       resumed = true;
     }
   }
@@ -503,6 +551,10 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
 
   const double tau_min = cfg.min_threshold();
 
+  // Breakdown timers live OUTSIDE the phase loop (one allocation, reused)
+  // but are cleared by run_phase at every phase start -- see PhaseTimers.
+  PhaseTimers timers;
+
   for (int phase = start_phase; phase < cfg.base.max_phases; ++phase) {
     if (phase_progress != nullptr && comm.rank() == 0)
       phase_progress->store(phase, std::memory_order_relaxed);
@@ -513,9 +565,27 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     if (!cfg.checkpoint.dir.empty() && phase > 0 &&
         phase % std::max(1, cfg.checkpoint.every) == 0 &&
         !(resumed && phase == start_phase)) {
-      const CheckpointState st{phase, result.phases,
-                               static_cast<std::int64_t>(result.total_iterations),
-                               prev_outer_mod, forced_final};
+      // The whole block -- including the counter allreduce below -- is
+      // checkpoint overhead. The reclassification must cover the allreduce:
+      // a resumed run SKIPS this block at its start phase, so any of its
+      // traffic left in kMessages would make a crashed-and-resumed run
+      // report different algorithm traffic than a clean one.
+      const util::TrafficReclassScope reclass(ctr, util::Counter::kCheckpointMessages,
+                                              util::Counter::kCheckpointBytes);
+      const util::TraceSpan span(tb, "checkpoint_save", "checkpoint", phase);
+      CheckpointState st{phase, result.phases,
+                         static_cast<std::int64_t>(result.total_iterations),
+                         prev_outer_mod, forced_final, {}};
+      // Cumulative whole-job algorithm totals at this boundary: restored
+      // history plus the global sum of per-rank deltas since run start. The
+      // delta vector is built before the allreduce call, so the allreduce's
+      // own traffic is excluded on every rank symmetrically.
+      const auto sums = comm.allreduce_sum_vec<std::int64_t>(
+          {ctr[util::Counter::kMessages] - start_ctr[util::Counter::kMessages],
+           ctr[util::Counter::kBytes] - start_ctr[util::Counter::kBytes]});
+      st.counters.seconds = result.restored.seconds + total_timer.seconds();
+      st.counters.messages = result.restored.messages + sums[0];
+      st.counters.bytes = result.restored.bytes + sums[1];
       checkpoint_save(comm, cfg.checkpoint.dir, graph, orig_to_cur, orig_global_n, st,
                       fingerprint);
     }
@@ -524,11 +594,12 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
 
     util::WallTimer phase_timer;
     PhaseTelemetry telemetry;
-    auto phase_state = run_phase(comm, graph, cfg, phase, tau, pool, telemetry);
+    auto phase_state = run_phase(comm, graph, cfg, phase, tau, pool, timers, telemetry);
 
     // Graph reconstruction + assignment-chain update. Always performed so
     // the final phase's moves are reflected in the output mapping.
     util::WallTimer rebuild_timer;
+    const util::TraceSpan rebuild_span(tb, "rebuild", "collective", phase);
     auto next = rebuild(comm, graph, phase_state.owned_community, phase_state.ghosts,
                         phase_state.ledger, &pool);
 
@@ -611,9 +682,26 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   result.community = comm.allgatherv<CommunityId>(
       std::vector<CommunityId>(orig_to_cur.begin(), orig_to_cur.end()));
   result.num_communities = graph.global_n();
-  result.seconds = total_timer.seconds();
-  result.messages = comm.world().messages_sent.load() - messages_before;
-  result.bytes = comm.world().bytes_sent.load() - bytes_before;
+  result.seconds = result.restored.seconds + total_timer.seconds();
+
+  // Global executed-portion counter totals, identical on every rank: sum the
+  // per-rank deltas since run start. The delta vectors are built before the
+  // allreduce calls, so the reduction's own traffic is excluded on every
+  // rank symmetrically (and deterministically).
+  {
+    std::vector<std::int64_t> delta(util::kNumCounters);
+    for (std::size_t i = 0; i < util::kNumCounters; ++i)
+      delta[i] = ctr.values[i] - start_ctr.values[i];
+    const auto sums = comm.allreduce_sum_vec<std::int64_t>(delta);
+    for (std::size_t i = 0; i < util::kNumCounters; ++i)
+      result.counters.values[i] = sums[i];
+    const auto busy = comm.allreduce_sum_vec<double>(
+        {ctr.busy_seconds - start_ctr.busy_seconds});
+    result.counters.busy_seconds = busy[0];
+  }
+  result.messages =
+      result.restored.messages + result.counters[util::Counter::kMessages];
+  result.bytes = result.restored.bytes + result.counters[util::Counter::kBytes];
   return result;
 }
 

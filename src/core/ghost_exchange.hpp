@@ -134,6 +134,23 @@ class GhostField {
       return payload;
     };
 
+    // Wire-mode accounting (ISSUE 4): bytes split by format so the manifest
+    // shows what delta mode actually saves, records = ghost values carried.
+    // Counts into this rank's block on this rank's thread (single-writer).
+    util::CounterBlock& ctr = comm.counters();
+    const auto count_payload = [&ctr](const std::vector<T>& payload) {
+      const auto bytes = static_cast<std::int64_t>(payload.size() * sizeof(T));
+      if (!payload.empty() && payload.front() == static_cast<T>(1)) {
+        ctr[util::Counter::kGhostBytesDelta] += bytes;
+        ctr[util::Counter::kGhostRecordsShipped] +=
+            static_cast<std::int64_t>((payload.size() - 1) / 2);
+      } else {
+        ctr[util::Counter::kGhostBytesDense] += bytes;
+        ctr[util::Counter::kGhostRecordsShipped] +=
+            static_cast<std::int64_t>(payload.empty() ? 0 : payload.size() - 1);
+      }
+    };
+
     const auto store = [&](std::size_t slot, const T& value) {
       if (values_[slot] != value) {
         changes_.push_back(SlotChange{static_cast<std::int64_t>(slot), values_[slot]});
@@ -170,7 +187,10 @@ class GhostField {
       const auto& neighbors = graph_->neighbor_ranks();
       std::vector<std::vector<T>> outbox;
       outbox.reserve(neighbors.size());
-      for (const Rank r : neighbors) outbox.push_back(build_payload(r));
+      for (const Rank r : neighbors) {
+        outbox.push_back(build_payload(r));
+        count_payload(outbox.back());
+      }
       remember_sent(owned);
       const auto inbox = comm.neighbor_alltoallv<T>(neighbors, std::move(outbox));
       for (std::size_t i = 0; i < neighbors.size(); ++i) absorb(neighbors[i], inbox[i]);
@@ -180,7 +200,9 @@ class GhostField {
     const int p = comm.size();
     std::vector<std::vector<T>> outbox(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
-      if (r != comm.rank()) outbox[static_cast<std::size_t>(r)] = build_payload(static_cast<Rank>(r));
+      if (r == comm.rank()) continue;
+      outbox[static_cast<std::size_t>(r)] = build_payload(static_cast<Rank>(r));
+      count_payload(outbox[static_cast<std::size_t>(r)]);
     }
     remember_sent(owned);
     const auto inbox = comm.alltoallv<T>(std::move(outbox));

@@ -1,0 +1,44 @@
+// JSON emission for the observability layer (ISSUE 4): the machine-readable
+// run manifest consumed by tools/check_bench_regression.py and the bench
+// harness instead of re-parsing stdout.
+//
+// Layering: the raw registry/trace primitives live in util/ (so the comm
+// layer can count); THIS header owns everything that knows about DistResult
+// and the manifest schema. The full `Result::to_json()` in dlouvain.cpp is
+// built from these helpers.
+//
+// Manifest schema (stable, versioned): see docs/OBSERVABILITY.md. The
+// top-level "schema" key is "dlouvain-run-manifest/1".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/telemetry.hpp"
+#include "util/metrics.hpp"
+
+namespace dlouvain::core {
+
+inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/1";
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Round-trippable double formatting (%.17g); NaN/inf become null, which is
+/// what strict JSON parsers require.
+std::string json_number(double v);
+
+/// Appends the named-counter object: every catalog entry from
+/// util/metrics.hpp plus the pool busy-seconds gauge. `{"comm.messages":N,
+/// ..., "pool.busy_seconds":X}`.
+void append_counters_json(std::string& out, const util::MetricsSnapshot& counters);
+
+/// Appends a TimeBreakdown object (the Section V-A buckets).
+void append_breakdown_json(std::string& out, const TimeBreakdown& b);
+
+/// Full manifest for one distributed run: scalars, restored counters,
+/// counter catalog, breakdown, per-phase detail. Identical on every rank
+/// (DistResult is collective-produced).
+std::string dist_result_to_json(const DistResult& r);
+
+}  // namespace dlouvain::core

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/metrics.hpp"
 #include "util/types.hpp"
 
 namespace dlouvain::core {
@@ -79,14 +80,41 @@ struct DistResult {
   double seconds{0};
   std::vector<PhaseTelemetry> phase_telemetry;
   TimeBreakdown breakdown;      ///< summed over phases
-  std::int64_t messages{0};     ///< global message count (all ranks)
-  std::int64_t bytes{0};        ///< global payload bytes (all ranks)
+
+  // -- counter semantics (the satellite-3 rule) ---------------------------
+  // seconds/messages/bytes are WHOLE-JOB totals: on a resumed run they equal
+  // restored pre-checkpoint counters (persisted in the checkpoint's
+  // counters.bin, v2) PLUS what this process measured -- the same rule
+  // phases/total_iterations always followed. `restored` holds the restored
+  // addend so callers can recover the this-process-only portion by
+  // subtraction. messages/bytes count ALGORITHM traffic only; checkpoint
+  // save/load I/O is reclassified into the checkpoint.* counters (see
+  // `counters` and util/metrics.hpp), so totals are comparable across runs
+  // with and without checkpointing.
+  std::int64_t messages{0};     ///< global algorithm message count (all ranks)
+  std::int64_t bytes{0};        ///< global algorithm payload bytes (all ranks)
+
+  /// Pre-checkpoint totals restored on resume (all zero for a fresh run).
+  /// Already INCLUDED in seconds/messages/bytes above.
+  struct RestoredCounters {
+    double seconds{0};
+    std::int64_t messages{0};
+    std::int64_t bytes{0};
+  };
+  RestoredCounters restored;
+
+  /// Global (allreduced, identical on every rank) named-counter totals for
+  /// the EXECUTED portion of this run -- the full catalog from
+  /// util/metrics.hpp plus pool busy-seconds. Restored pre-checkpoint
+  /// history is NOT folded in here; only messages/bytes/seconds above carry
+  /// restored history, because only they are persisted.
+  util::MetricsSnapshot counters;
 
   /// Phase the run was resumed from (DistConfig::checkpoint.resume with a
   /// valid checkpoint on disk); -1 when the run started fresh. When >= 0,
-  /// phases/total_iterations/phase_telemetry cover the REPLAYED portion plus
-  /// the restored pre-checkpoint counters (telemetry detail of checkpointed
-  /// phases is not persisted).
+  /// phases/total_iterations/seconds/messages/bytes cover the whole job
+  /// (restored + replayed) while phase_telemetry covers only replayed phases
+  /// (per-phase detail of checkpointed phases is not persisted).
   int resumed_from_phase{-1};
 
   /// Populated only when DistConfig::gather_quality is set, and only on rank

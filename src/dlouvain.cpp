@@ -2,13 +2,30 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 
 #include "core/checkpoint.hpp"
+#include "core/metrics.hpp"
 #include "louvain/serial.hpp"
 #include "louvain/shared.hpp"
+#include "util/trace.hpp"
 
 namespace dlouvain {
+
+namespace {
+
+void write_text_file(const std::string& path, const std::string& what,
+                     const std::function<void(std::ofstream&)>& emit) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + what + " output " + path);
+  emit(out);
+  if (!out) throw std::runtime_error("failed writing " + what + " output " + path);
+}
+
+}  // namespace
 
 louvain::LouvainConfig Plan::base_config() const {
   louvain::LouvainConfig cfg;
@@ -74,6 +91,20 @@ Result Plan::run(const graph::Csr& g) const {
       // One injector for all attempts: crash triggers are one-shot, so a
       // restarted run proceeds past the failure it is recovering from.
       if (faults_) options.faults = std::make_shared<comm::FaultInjector>(*faults_);
+      // One trace store for all attempts: failed-attempt spans stay in the
+      // rings and flush alongside the successful run's -- exactly what you
+      // want when debugging why an attempt died.
+      if (!trace_path_.empty())
+        options.trace = std::make_shared<util::TraceStore>(ranks_);
+
+      // What the newest on-disk checkpoint has banked so far (zero without
+      // checkpointing). Per-attempt deltas of this split a failed attempt's
+      // traffic into salvaged (resumable) and wasted.
+      core::RunCounters banked;
+      if (!cfg.checkpoint.dir.empty()) {
+        banked = core::checkpoint_latest_counters(cfg.checkpoint.dir)
+                     .value_or(core::RunCounters{});
+      }
 
       // Recovery driver: on any detectable communication failure, restart --
       // from the newest checkpoint when checkpointing is on, from scratch
@@ -81,6 +112,10 @@ Result Plan::run(const graph::Csr& g) const {
       std::atomic<int> progress{-1};
       for (int attempt = 0;; ++attempt) {
         progress.store(-1, std::memory_order_relaxed);
+        // A FRESH registry per attempt: a discarded attempt's traffic is
+        // accounted to recovery.wasted_*, never carried into the next
+        // attempt's counters (the satellite-1 fix).
+        options.metrics = std::make_shared<util::MetricsRegistry>(ranks_);
         try {
           auto r = core::dist_louvain_inprocess(ranks_, g, cfg, partition_, options,
                                                 &progress);
@@ -104,12 +139,89 @@ Result Plan::run(const graph::Csr& g) const {
           // again on the next one.
           out.recovery.phases_replayed +=
               std::max(0, progress.load(std::memory_order_relaxed) + 1 - next_resume);
+
+          // Wasted = everything this attempt sent (algorithm + checkpoint
+          // I/O) minus what it banked into a checkpoint -- the banked part
+          // re-enters the final result through its restored counters.
+          const util::MetricsSnapshot spent = options.metrics->total();
+          core::RunCounters now;
+          if (!cfg.checkpoint.dir.empty()) {
+            now = core::checkpoint_latest_counters(cfg.checkpoint.dir)
+                      .value_or(core::RunCounters{});
+          }
+          const std::int64_t banked_messages =
+              std::max<std::int64_t>(0, now.messages - banked.messages);
+          const std::int64_t banked_bytes =
+              std::max<std::int64_t>(0, now.bytes - banked.bytes);
+          out.recovery.wasted_messages += std::max<std::int64_t>(
+              0, spent[util::Counter::kMessages] +
+                     spent[util::Counter::kCheckpointMessages] - banked_messages);
+          out.recovery.wasted_bytes += std::max<std::int64_t>(
+              0, spent[util::Counter::kBytes] +
+                     spent[util::Counter::kCheckpointBytes] - banked_bytes);
+          banked = now;
+
           cfg.checkpoint.resume = !cfg.checkpoint.dir.empty();
         }
+      }
+
+      if (options.faults) {
+        out.recovery.injected_delays = options.faults->delayed.load();
+        out.recovery.injected_duplicates = options.faults->duplicated.load();
+        out.recovery.injected_corruptions = options.faults->corrupted.load();
+        out.recovery.injected_crashes = options.faults->crashes_fired.load();
+      }
+
+      if (options.trace) {
+        write_text_file(trace_path_, "trace", [&](std::ofstream& f) {
+          options.trace->write_chrome_trace(f);
+        });
       }
       break;
     }
   }
+
+  // Serial/shared runs still honour --trace-out: an empty-but-valid trace
+  // (process metadata only) beats a confusing missing file.
+  if (engine_ != Engine::kDistributed && !trace_path_.empty()) {
+    const util::TraceStore empty(1);
+    write_text_file(trace_path_, "trace",
+                    [&](std::ofstream& f) { empty.write_chrome_trace(f); });
+  }
+  if (!metrics_path_.empty()) {
+    write_text_file(metrics_path_, "metrics",
+                    [&](std::ofstream& f) { f << out.to_json() << '\n'; });
+  }
+  return out;
+}
+
+std::string Result::to_json() const {
+  std::string out;
+  if (engine == Engine::kDistributed && distributed) {
+    out = core::dist_result_to_json(*distributed);
+    out.pop_back();  // reopen the object to append the driver-level section
+  } else {
+    out = "{\"schema\":\"";
+    out += core::kManifestSchema;
+    out += "\",\"engine\":\"";
+    out += engine == Engine::kSerial ? "serial" : "shared";
+    out += '"';
+    out += ",\"modularity\":" + core::json_number(modularity);
+    out += ",\"num_communities\":" + std::to_string(num_communities);
+    out += ",\"phases\":" + std::to_string(phases);
+    out += ",\"total_iterations\":" + std::to_string(total_iterations);
+    out += ",\"seconds\":" + core::json_number(seconds);
+  }
+  out += ",\"recovery\":{\"attempts\":" + std::to_string(recovery.attempts);
+  out += ",\"phases_replayed\":" + std::to_string(recovery.phases_replayed);
+  out += ",\"resumed_from_phase\":" + std::to_string(recovery.resumed_from_phase);
+  out += ",\"wasted_messages\":" + std::to_string(recovery.wasted_messages);
+  out += ",\"wasted_bytes\":" + std::to_string(recovery.wasted_bytes);
+  out += ",\"injected_delays\":" + std::to_string(recovery.injected_delays);
+  out += ",\"injected_duplicates\":" + std::to_string(recovery.injected_duplicates);
+  out += ",\"injected_corruptions\":" + std::to_string(recovery.injected_corruptions);
+  out += ",\"injected_crashes\":" + std::to_string(recovery.injected_crashes);
+  out += "}}";
   return out;
 }
 

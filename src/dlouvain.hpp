@@ -82,8 +82,30 @@ struct Result {
     int attempts{1};            ///< runs launched, including the success
     int phases_replayed{0};     ///< phases re-run across all restarts
     int resumed_from_phase{-1}; ///< last restart's checkpoint phase, -1 fresh
+
+    /// Traffic burned by DISCARDED attempts: each failed attempt's total
+    /// messages/bytes (algorithm + checkpoint I/O) minus whatever that
+    /// attempt banked into a checkpoint (which the final result re-counts
+    /// via its restored counters). Zero on a clean first-try run. This is
+    /// where restart traffic goes now -- it is never charged to the
+    /// completed run's Result::messages/bytes (the satellite-1 fix).
+    std::int64_t wasted_messages{0};
+    std::int64_t wasted_bytes{0};
+
+    /// Fault-injector event totals across all attempts (zero without
+    /// Plan::inject_faults).
+    std::int64_t injected_delays{0};
+    std::int64_t injected_duplicates{0};
+    std::int64_t injected_corruptions{0};
+    std::int64_t injected_crashes{0};
   };
   Recovery recovery;
+
+  /// Machine-readable run manifest (schema "dlouvain-run-manifest/1"; see
+  /// docs/OBSERVABILITY.md). Valid JSON for every engine; the distributed
+  /// engine adds counters, breakdown and per-phase detail. Same content
+  /// `Plan::metrics(path)` writes to disk.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Fluent description of one community-detection run. Start from a named
@@ -173,6 +195,14 @@ class Plan {
   /// checkpointing is on, from scratch otherwise. 0 = fail fast.
   Plan& max_restarts(int n) { max_restarts_ = n; return *this; }
 
+  // -- observability (see docs/OBSERVABILITY.md) --------------------------
+  /// Write a merged Chrome trace_event JSON file (one pid per simulated
+  /// rank) to `path` after the run. Spans are ring-buffered per rank and
+  /// drained outside timed regions; results are bitwise unaffected.
+  Plan& trace(std::string path) { trace_path_ = std::move(path); return *this; }
+  /// Write the run manifest (Result::to_json()) to `path` after the run.
+  Plan& metrics(std::string path) { metrics_path_ = std::move(path); return *this; }
+
   // -- materialized configs (for callers dropping to the raw APIs) --------
   [[nodiscard]] Engine engine() const { return engine_; }
   [[nodiscard]] int num_ranks() const { return ranks_; }
@@ -212,6 +242,8 @@ class Plan {
   double comm_timeout_{0};
   std::optional<comm::FaultPlan> faults_;
   int max_restarts_{0};
+  std::string trace_path_;
+  std::string metrics_path_;
 };
 
 }  // namespace dlouvain

@@ -205,6 +205,10 @@ std::vector<std::pair<std::string, std::vector<char>>> snapshot_dir(
   std::vector<std::pair<std::string, std::vector<char>>> files;
   for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
+    // counters.bin carries wall-clock seconds and wire-mode-dependent byte
+    // counts (delta mode legitimately ships fewer bytes), so it is excluded
+    // from the byte-identity contract; meta/graph/chain must still match.
+    if (entry.path().filename() == "counters.bin") continue;
     std::ifstream in(entry.path(), std::ios::binary);
     files.emplace_back(entry.path().lexically_relative(dir).string(),
                        std::vector<char>(std::istreambuf_iterator<char>(in),

@@ -11,12 +11,19 @@ then compares the fresh numbers against the committed baseline:
     the SAME run (this is the PR3 acceptance bar and does not depend on what
     hardware recorded the baseline).
 
-Exit code 0 = within bounds, 1 = regression or malformed input.
+With --manifest, additionally validates a run manifest produced by
+`dlouvain_cli --metrics-out` (or Plan::metrics): schema id, counter catalog
+and internal consistency (whole-job totals == restored + executed).
+
+Exit code 0 = within bounds, 1 = regression or malformed input,
+2 = missing input file (e.g. the baseline was never committed).
 
 Usage:
   check_bench_regression.py --baseline BENCH_PR3.json \
       --bench build/bench/micro_kernels --scale 12 --dist-scale 10 --reps 3
   check_bench_regression.py --baseline BENCH_PR3.json --current fresh.json
+  check_bench_regression.py --baseline BENCH_PR3.json --current fresh.json \
+      --manifest run_manifest.json
 """
 
 import argparse
@@ -27,9 +34,53 @@ import sys
 import tempfile
 
 
-def load(path):
+def load(path, what):
+    """Read a JSON file; exit 2 (not a traceback) when it is absent."""
+    if not os.path.exists(path):
+        print(f"MISSING: {what} file '{path}' does not exist.\n"
+              f"  Generate it first (see --help), or point --{what} at the "
+              f"committed copy.")
+        sys.exit(2)
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# Counters every "dlouvain-run-manifest/1" document must carry (the catalog
+# in docs/OBSERVABILITY.md; keep the two in sync).
+MANIFEST_COUNTERS = (
+    "comm.messages", "comm.bytes", "comm.duplicates_dropped",
+    "ghost.bytes_dense", "ghost.bytes_delta", "ghost.records_shipped",
+    "ledger.refresh_records", "ledger.delta_records",
+    "checkpoint.messages", "checkpoint.bytes", "checkpoint.file_bytes",
+    "pool.busy_seconds",
+)
+
+
+def check_manifest(manifest, failures):
+    """Validate a --metrics-out run manifest; append problems to failures."""
+    schema = manifest.get("schema", "")
+    if not schema.startswith("dlouvain-run-manifest/"):
+        failures.append(f"manifest schema '{schema}' is not a run manifest")
+        return
+    engine = manifest.get("engine")
+    recovery = manifest.get("recovery")
+    if not isinstance(recovery, dict):
+        failures.append("manifest carries no recovery object")
+    if engine != "distributed":
+        return  # serial/shared manifests carry no counters by design
+    counters = manifest.get("counters", {})
+    for name in MANIFEST_COUNTERS:
+        if name not in counters:
+            failures.append(f"manifest counters missing '{name}'")
+    restored = manifest.get("restored", {})
+    executed = counters.get("comm.messages", 0)
+    total = manifest.get("messages", 0)
+    if restored.get("messages", 0) + executed != total:
+        failures.append(
+            f"manifest messages {total} != restored {restored.get('messages', 0)} "
+            f"+ executed {executed} (counter-semantics contract broken)")
+    print(f"manifest: {engine} run, {total} messages "
+          f"({executed} executed, {restored.get('messages', 0)} restored): ok")
 
 
 def main():
@@ -45,6 +96,8 @@ def main():
                         help="allowed per-kernel slowdown vs baseline (0.25 = 25%%)")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required hash/flat local-move ratio in the fresh run")
+    parser.add_argument("--manifest",
+                        help="also validate this --metrics-out run manifest")
     args = parser.parse_args()
 
     if bool(args.current) == bool(args.bench):
@@ -68,10 +121,12 @@ def main():
     else:
         current_path = args.current
 
-    baseline = load(args.baseline)
-    current = load(current_path)
+    baseline = load(args.baseline, "baseline")
+    current = load(current_path, "current")
 
     failures = []
+    if args.manifest:
+        check_manifest(load(args.manifest, "manifest"), failures)
     base_kernels = baseline.get("kernels", {})
     curr_kernels = current.get("kernels", {})
     same_input = baseline.get("graph") == current.get("graph")

@@ -24,6 +24,11 @@
 //   --max-restarts <n>             restart attempts on comm failure (default 3)
 //   --crash r:ph[:it][,...]        inject deterministic rank crashes
 //
+// observability (see docs/OBSERVABILITY.md):
+//   --trace-out <file>             write a Chrome trace_event JSON file
+//                                  (open in Perfetto / chrome://tracing)
+//   --metrics-out <file>           write the machine-readable run manifest
+//
 // Examples:
 //   dlouvain_cli --generate soc-friendster --variant etc --alpha 0.25
 //   dlouvain_cli --input graph.dlel --ranks 8 --threads 4 --output communities.txt
@@ -113,6 +118,10 @@ int run_cli(int argc, char** argv) {
       cli.get_int("max-restarts", 3, "restart attempts on comm failure"));
   const auto crash_spec =
       cli.get_string("crash", "", "inject rank crashes: r:ph[:it][,...]");
+  const auto trace_out =
+      cli.get_string("trace-out", "", "write Chrome trace_event JSON here");
+  const auto metrics_out =
+      cli.get_string("metrics-out", "", "write the run manifest JSON here");
   if (!cli.finish()) return 1;
 
   if (input.empty() == generate.empty()) {
@@ -142,10 +151,11 @@ int run_cli(int argc, char** argv) {
   }
 
   // Fail on an unwritable output path BEFORE spending minutes computing.
-  if (!output.empty()) {
-    std::ofstream probe(output, std::ios::app);
+  for (const auto& path : {output, trace_out, metrics_out}) {
+    if (path.empty()) continue;
+    std::ofstream probe(path, std::ios::app);
     if (!probe) {
-      std::cerr << "dlouvain: cannot open " << output << " for writing\n";
+      std::cerr << "dlouvain: cannot open " << path << " for writing\n";
       return 1;
     }
   }
@@ -190,6 +200,8 @@ int run_cli(int argc, char** argv) {
   if (!checkpoint_dir.empty()) plan.checkpointing(checkpoint_dir, checkpoint_every);
   if (resume) plan.resume(checkpoint_dir);
   if (!crash_spec.empty()) plan.inject_faults(parse_crashes(crash_spec));
+  if (!trace_out.empty()) plan.trace(trace_out);
+  if (!metrics_out.empty()) plan.metrics(metrics_out);
   const auto result = plan.run(csr);
 
   std::cout << "graph:        " << csr.num_vertices() << " vertices, "
@@ -244,6 +256,8 @@ int run_cli(int argc, char** argv) {
       out << v << ' ' << result.community[v] << '\n';
     std::cout << "wrote " << output << '\n';
   }
+  if (!trace_out.empty()) std::cout << "wrote trace " << trace_out << '\n';
+  if (!metrics_out.empty()) std::cout << "wrote manifest " << metrics_out << '\n';
   return 0;
 }
 
