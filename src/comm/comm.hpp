@@ -15,13 +15,16 @@
 #pragma once
 
 #include <bit>
+#include <chrono>
 #include <cstddef>
+#include <cstring>
 #include <functional>
 #include <numeric>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "comm/async.hpp"
 #include "comm/fault.hpp"
 #include "comm/message.hpp"
 #include "comm/world.hpp"
@@ -38,7 +41,105 @@ inline constexpr Tag kGather = -4000;
 inline constexpr Tag kAlltoallv = -5000;
 inline constexpr Tag kScan = -6000;
 inline constexpr Tag kNeighbor = -7000;
+inline constexpr Tag kAlltoall = -7300;
+inline constexpr Tag kAllreduceVec = -7500;
 }  // namespace internal_tags
+
+/// An in-flight personalized exchange, returned by Comm::ialltoallv /
+/// Comm::ineighbor_alltoallv. The sends have already been deposited; the
+/// receives are posted but not yet matched. test() absorbs whatever has
+/// landed without blocking; wait() completes the exchange, draining the
+/// remaining peer buffers in ARRIVAL order (whichever lands first is
+/// unpacked first -- no head-of-line blocking on the slowest peer) and
+/// records how much of the exchange's latency elapsed before the caller
+/// started waiting (hidden_seconds -- the overlap telemetry's raw metric).
+template <typename T>
+class PendingAlltoallv {
+ public:
+  PendingAlltoallv() = default;
+  PendingAlltoallv(PendingAlltoallv&&) = default;
+  PendingAlltoallv& operator=(PendingAlltoallv&&) = default;
+
+  /// True once every peer buffer has been absorbed.
+  [[nodiscard]] bool done() const noexcept { return n_done_ == handles_.size(); }
+
+  /// Nonblocking progress: absorb every peer buffer that has already
+  /// arrived. Returns done().
+  bool test() {
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      if (!handles_[i].done() && handles_[i].test()) absorb(i);
+    }
+    return done();
+  }
+
+  /// Complete the exchange (blocking), then finalize the wait/hidden split:
+  /// wait_seconds is time spent blocked in here; hidden_seconds sums, per
+  /// peer buffer, the in-flight span from launch to the earlier of "this
+  /// buffer arrived" and "caller started waiting" -- exchange latency that
+  /// overlapped the caller's own work instead of a blocking wait (a buffer
+  /// already delivered at launch contributes zero). Idempotent.
+  void wait() {
+    if (finished_) return;
+    const auto wait_begin = Clock::now();
+    std::vector<RecvHandle*> pending;
+    std::vector<std::size_t> orig;
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      if (!handles_[i].done()) {
+        pending.push_back(&handles_[i]);
+        orig.push_back(i);
+      }
+    }
+    while (!pending.empty()) {
+      const std::size_t i = wait_any(std::span<RecvHandle* const>(pending));
+      absorb(orig[i]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      orig.erase(orig.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    wait_seconds_ = sec(Clock::now() - wait_begin);
+    hidden_seconds_ = 0;
+    for (const auto arrival : arrivals_) {
+      const auto covered = arrival < wait_begin ? arrival : wait_begin;
+      if (covered > launch_) hidden_seconds_ += sec(covered - launch_);
+    }
+    finished_ = true;
+  }
+
+  /// Complete and surrender the inbox: slot [i] holds what peer i sent
+  /// (rank-indexed for ialltoallv, neighbour-indexed for the sparse form).
+  std::vector<std::vector<T>> take() {
+    wait();
+    return std::move(inbox_);
+  }
+
+  /// Time spent blocked inside wait() (0 until wait() ran).
+  [[nodiscard]] double wait_seconds() const noexcept { return wait_seconds_; }
+  /// Exchange latency that elapsed before the caller blocked (0 until
+  /// wait() ran; ~0 when wait() directly follows the launch).
+  [[nodiscard]] double hidden_seconds() const noexcept { return hidden_seconds_; }
+
+ private:
+  friend class Comm;
+  using Clock = std::chrono::steady_clock;
+  [[nodiscard]] static double sec(Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  }
+
+  void absorb(std::size_t i) {
+    inbox_[slots_[i]] = handles_[i].template take<T>();
+    arrivals_.push_back(handles_[i].arrival());
+    ++n_done_;
+  }
+
+  std::vector<RecvHandle> handles_;  ///< one posted receive per remote peer
+  std::vector<std::size_t> slots_;   ///< inbox slot per handle
+  std::vector<std::vector<T>> inbox_;
+  std::vector<Clock::time_point> arrivals_;  ///< delivery instant per absorbed buffer
+  std::size_t n_done_{0};
+  bool finished_{false};
+  Clock::time_point launch_{};
+  double wait_seconds_{0};
+  double hidden_seconds_{0};
+};
 
 class Comm {
  public:
@@ -98,10 +199,17 @@ class Comm {
     return world_->mailbox(to_world(rank_)).get(src, pack_tag(tag)).payload;
   }
 
-  /// Typed buffered send of a contiguous range.
+  /// Typed buffered send of a contiguous range. The payload slab is
+  /// recycled through the world's BufferPool (the typed receive paths hand
+  /// it back after unpacking), so steady-state typed traffic allocates
+  /// nothing.
   template <typename T>
   void send(Rank dst, Tag tag, std::span<const T> data) {
-    send_bytes(dst, tag, to_bytes(data));
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "message elements must be trivially copyable");
+    std::vector<std::byte> bytes = world_->pool().acquire(data.size_bytes());
+    if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+    send_bytes(dst, tag, std::move(bytes));
   }
 
   template <typename T>
@@ -115,10 +223,14 @@ class Comm {
     send<T>(dst, tag, std::span<const T>(&value, 1));
   }
 
-  /// Typed blocking receive.
+  /// Typed blocking receive. Returns the payload slab to the BufferPool
+  /// after unpacking (the other half of send's pooled path).
   template <typename T>
   std::vector<T> recv(Rank src, Tag tag) {
-    return from_bytes<T>(recv_bytes(src, tag));
+    auto bytes = recv_bytes(src, tag);
+    auto data = from_bytes<T>(bytes);
+    world_->pool().release(std::move(bytes));
+    return data;
   }
 
   /// Typed blocking receive of exactly one value.
@@ -141,6 +253,30 @@ class Comm {
   template <typename T>
   std::vector<T> sendrecv(Rank dst, Rank src, Tag tag, const std::vector<T>& data) {
     return sendrecv<T>(dst, src, tag, std::span<const T>(data));
+  }
+
+  // --- nonblocking point to point ---------------------------------------
+
+  /// Post a nonblocking receive for (src, tag). Complete via the handle's
+  /// test()/wait()/take<T>() or the free wait_any/wait_all (async.hpp).
+  [[nodiscard]] RecvHandle irecv(Rank src, Tag tag) {
+    check_rank(src);
+    return RecvHandle(world_->mailbox(to_world(rank_)), &world_->pool(), src,
+                      pack_tag(tag));
+  }
+
+  /// Nonblocking typed send. The transport is eager (the payload is
+  /// buffered into the destination mailbox before this returns), so the
+  /// handle is born complete -- provided for API symmetry with irecv.
+  template <typename T>
+  SendHandle isend(Rank dst, Tag tag, std::span<const T> data) {
+    send<T>(dst, tag, data);
+    return {};
+  }
+
+  template <typename T>
+  SendHandle isend(Rank dst, Tag tag, const std::vector<T>& data) {
+    return isend<T>(dst, tag, std::span<const T>(data));
   }
 
   // --- collectives ------------------------------------------------------
@@ -234,6 +370,8 @@ class Comm {
   }
 
   /// Gather variable-length buffers at `root`; non-roots return empty.
+  /// Receives land in rank order, so each part is appended straight into
+  /// its rank-ordered position -- one pass, no staging copy.
   template <typename T>
   std::vector<T> gatherv(std::span<const T> local, Rank root = 0) {
     check_rank(root);
@@ -241,18 +379,12 @@ class Comm {
       send<T>(root, internal_tags::kGather, local);
       return {};
     }
-    std::vector<T> out(local.begin(), local.end());
-    std::vector<std::vector<T>> parts(static_cast<std::size_t>(size()));
-    for (Rank r = 0; r < size(); ++r) {
-      if (r != root) parts[static_cast<std::size_t>(r)] = recv<T>(r, internal_tags::kGather);
-    }
-    // Preserve rank order: root's own data occupies its slot.
     std::vector<T> ordered;
     for (Rank r = 0; r < size(); ++r) {
       if (r == root) {
         ordered.insert(ordered.end(), local.begin(), local.end());
       } else {
-        const auto& part = parts[static_cast<std::size_t>(r)];
+        const auto part = recv<T>(r, internal_tags::kGather);
         ordered.insert(ordered.end(), part.begin(), part.end());
       }
     }
@@ -294,19 +426,26 @@ class Comm {
     return allreduce_min<int>(local ? 1 : 0) != 0;
   }
 
-  /// Element-wise sum of equal-length vectors across ranks.
+  /// Element-wise sum of equal-length vectors across ranks. Each peer's
+  /// contribution is streamed through the fold as it is received instead of
+  /// materializing the p*n allgatherv concatenation, so peak memory is O(n)
+  /// rather than O(p*n). The fold stays in rank order 0..p-1, so the result
+  /// is still bitwise identical on every rank.
   template <typename T>
   std::vector<T> allreduce_sum_vec(const std::vector<T>& local) {
-    std::vector<std::size_t> counts;
-    const auto all = allgatherv<T>(local, &counts);
-    for (const auto c : counts) {
-      if (c != local.size())
-        throw std::logic_error("allreduce_sum_vec: mismatched vector lengths");
+    for (Rank r = 0; r < size(); ++r) {
+      if (r != rank_) send<T>(r, internal_tags::kAllreduceVec, local);
     }
     std::vector<T> out(local.size(), T{});
-    for (int r = 0; r < size(); ++r) {
-      const std::size_t base = static_cast<std::size_t>(r) * local.size();
-      for (std::size_t i = 0; i < local.size(); ++i) out[i] += all[base + i];
+    for (Rank r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        for (std::size_t i = 0; i < local.size(); ++i) out[i] += local[i];
+      } else {
+        const auto part = recv<T>(r, internal_tags::kAllreduceVec);
+        if (part.size() != local.size())
+          throw std::logic_error("allreduce_sum_vec: mismatched vector lengths");
+        for (std::size_t i = 0; i < local.size(); ++i) out[i] += part[i];
+      }
     }
     return out;
   }
@@ -328,25 +467,43 @@ class Comm {
     return exscan_sum(local) + local;
   }
 
-  /// Personalized all-to-all of variable-length buffers: outbox[r] goes to
-  /// rank r; the result's slot [r] holds what rank r sent here. The self slot
-  /// is moved through directly without touching the mailbox.
+  /// Launch a personalized all-to-all of variable-length buffers without
+  /// blocking: outbox[r] goes to rank r; the returned operation's inbox slot
+  /// [r] will hold what rank r sent here. The self slot is moved through
+  /// directly without touching the mailbox. Complete with wait()/take();
+  /// replies are drained in arrival order, not rank order.
   template <typename T>
-  std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> outbox) {
+  PendingAlltoallv<T> ialltoallv(std::vector<std::vector<T>> outbox) {
     if (outbox.size() != static_cast<std::size_t>(size()))
       throw std::logic_error("alltoallv: outbox must have one slot per rank");
-    std::vector<std::vector<T>> inbox(static_cast<std::size_t>(size()));
+    PendingAlltoallv<T> op;
+    op.inbox_.resize(static_cast<std::size_t>(size()));
     for (Rank r = 0; r < size(); ++r) {
       if (r == rank_) {
-        inbox[static_cast<std::size_t>(r)] = std::move(outbox[static_cast<std::size_t>(r)]);
+        op.inbox_[static_cast<std::size_t>(r)] = std::move(outbox[static_cast<std::size_t>(r)]);
       } else {
         send<T>(r, internal_tags::kAlltoallv, outbox[static_cast<std::size_t>(r)]);
       }
     }
+    op.handles_.reserve(static_cast<std::size_t>(size()) - 1);
     for (Rank r = 0; r < size(); ++r) {
-      if (r != rank_) inbox[static_cast<std::size_t>(r)] = recv<T>(r, internal_tags::kAlltoallv);
+      if (r != rank_) {
+        op.handles_.push_back(irecv(r, internal_tags::kAlltoallv));
+        op.slots_.push_back(static_cast<std::size_t>(r));
+      }
     }
-    return inbox;
+    // Launch is stamped AFTER the deposits: the send loop is paid CPU, not
+    // in-flight latency, so hidden_seconds counts only what elapses once the
+    // exchange is actually airborne (~0 when wait() directly follows).
+    op.launch_ = std::chrono::steady_clock::now();
+    return op;
+  }
+
+  /// Personalized all-to-all of variable-length buffers: outbox[r] goes to
+  /// rank r; the result's slot [r] holds what rank r sent here.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> outbox) {
+    return ialltoallv<T>(std::move(outbox)).take();
   }
 
   /// Sparse personalized exchange over a fixed neighbourhood -- the analogue
@@ -361,32 +518,50 @@ class Comm {
   template <typename T>
   std::vector<std::vector<T>> neighbor_alltoallv(std::span<const Rank> neighbors,
                                                  std::vector<std::vector<T>> outbox) {
+    return ineighbor_alltoallv<T>(neighbors, std::move(outbox)).take();
+  }
+
+  /// Nonblocking launch of the sparse exchange; same contract as
+  /// neighbor_alltoallv, completed via the returned operation. Inbox slot
+  /// [i] will hold what neighbors[i] sent here; replies are drained in
+  /// arrival order.
+  template <typename T>
+  PendingAlltoallv<T> ineighbor_alltoallv(std::span<const Rank> neighbors,
+                                          std::vector<std::vector<T>> outbox) {
     if (outbox.size() != neighbors.size())
       throw std::logic_error("neighbor_alltoallv: one outbox slot per neighbour");
+    PendingAlltoallv<T> op;
+    op.inbox_.resize(neighbors.size());
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
       if (neighbors[i] == rank_)
         throw std::logic_error("neighbor_alltoallv: self must not be listed");
       send<T>(neighbors[i], internal_tags::kNeighbor, outbox[i]);
     }
-    std::vector<std::vector<T>> inbox(neighbors.size());
-    for (std::size_t i = 0; i < neighbors.size(); ++i)
-      inbox[i] = recv<T>(neighbors[i], internal_tags::kNeighbor);
-    return inbox;
+    op.handles_.reserve(neighbors.size());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      op.handles_.push_back(irecv(neighbors[i], internal_tags::kNeighbor));
+      op.slots_.push_back(i);
+    }
+    // Post-deposit stamp, same rationale as ialltoallv.
+    op.launch_ = std::chrono::steady_clock::now();
+    return op;
   }
 
-  /// Fixed all-to-all: one element to/from each rank.
+  /// Fixed all-to-all: one element to/from each rank. Ships flat
+  /// one-element payloads directly -- no per-rank vector staging.
   template <typename T>
   std::vector<T> alltoall(const std::vector<T>& out) {
     if (out.size() != static_cast<std::size_t>(size()))
       throw std::logic_error("alltoall: need exactly one element per rank");
-    std::vector<std::vector<T>> outbox(static_cast<std::size_t>(size()));
-    for (Rank r = 0; r < size(); ++r) outbox[static_cast<std::size_t>(r)] = {out[static_cast<std::size_t>(r)]};
-    const auto inbox = alltoallv<T>(std::move(outbox));
-    std::vector<T> in(static_cast<std::size_t>(size()));
     for (Rank r = 0; r < size(); ++r) {
-      if (inbox[static_cast<std::size_t>(r)].size() != 1)
-        throw std::logic_error("alltoall: peer sent wrong count");
-      in[static_cast<std::size_t>(r)] = inbox[static_cast<std::size_t>(r)][0];
+      if (r != rank_)
+        send<T>(r, internal_tags::kAlltoall,
+                std::span<const T>(&out[static_cast<std::size_t>(r)], 1));
+    }
+    std::vector<T> in(static_cast<std::size_t>(size()));
+    in[static_cast<std::size_t>(rank_)] = out[static_cast<std::size_t>(rank_)];
+    for (Rank r = 0; r < size(); ++r) {
+      if (r != rank_) in[static_cast<std::size_t>(r)] = recv_value<T>(r, internal_tags::kAlltoall);
     }
     return in;
   }

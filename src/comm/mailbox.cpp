@@ -14,20 +14,32 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// RAII entry in the mailbox's blocked-receiver registry (caller holds the
-/// mailbox mutex at construction and destruction).
+/// mailbox mutex at construction and destruction). Registers every wanted
+/// stream so the deadlock report names all of them.
 struct WaitingGuard {
   std::vector<std::pair<Rank, Tag>>& registry;
-  std::pair<Rank, Tag> entry;
+  std::span<const Mailbox::Want> wants;
 
-  WaitingGuard(std::vector<std::pair<Rank, Tag>>& r, Rank src, Tag tag)
-      : registry(r), entry(src, tag) {
-    registry.push_back(entry);
+  WaitingGuard(std::vector<std::pair<Rank, Tag>>& r, std::span<const Mailbox::Want> ws)
+      : registry(r), wants(ws) {
+    for (const auto& w : wants) registry.emplace_back(w.src, w.tag);
   }
   ~WaitingGuard() {
-    const auto it = std::find(registry.begin(), registry.end(), entry);
-    if (it != registry.end()) registry.erase(it);
+    for (const auto& w : wants) {
+      const auto it = std::find(registry.begin(), registry.end(), std::pair(w.src, w.tag));
+      if (it != registry.end()) registry.erase(it);
+    }
   }
 };
+
+std::string wants_desc(std::span<const Mailbox::Want> wants) {
+  std::string out;
+  for (std::size_t i = 0; i < wants.size(); ++i) {
+    if (i != 0) out += i + 1 == wants.size() ? " or " : ", ";
+    out += "(src=" + std::to_string(wants[i].src) + ", tag=" + std::to_string(wants[i].tag) + ")";
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -36,15 +48,16 @@ void Mailbox::put(Message msg) {
     const std::lock_guard<std::mutex> lock(mutex_);
     msg.seq = next_put_seq_[stream_key(msg.src, msg.tag)]++;
     msg.crc = util::crc32(msg.payload);
+    msg.arrived_at = Clock::now();
 
     bool duplicate = false;
     if (injector_ != nullptr && injector_->injects_messages()) {
       const auto fate =
           injector_->message_fate(owner_, msg.src, msg.tag, msg.seq, msg.payload.size());
       if (fate.delay) {
-        msg.visible_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                            std::chrono::duration<double, std::milli>(
-                                                injector_->delay_ms()));
+        msg.visible_at = msg.arrived_at + std::chrono::duration_cast<Clock::duration>(
+                                              std::chrono::duration<double, std::milli>(
+                                                  injector_->delay_ms()));
       }
       if (fate.corrupt) {
         // Flip one bit AFTER the checksum was computed: wire corruption the
@@ -61,9 +74,75 @@ void Mailbox::put(Message msg) {
   cv_.notify_all();
 }
 
-Message Mailbox::get(Rank src, Tag tag) {
+Mailbox::ScanResult Mailbox::scan_locked(std::span<const Want> wants) {
+  // Queue order is put order across ALL streams, so delivering the first
+  // deliverable match is arrival-order completion. Per-stream FIFO is still
+  // honoured: once a stream's head is seen but not yet visible, that stream
+  // is blocked and its later entries are skipped rather than overtaking.
+  ScanResult result;
+  const auto now = Clock::now();
+  std::vector<std::uint64_t> blocked;  // streams whose delayed head was passed
+  for (std::size_t i = 0; i < queue_.size();) {
+    const Message& m = queue_[i];
+    const auto match = std::find_if(wants.begin(), wants.end(), [&](const Want& w) {
+      return m.src == w.src && m.tag == w.tag;
+    });
+    if (match == wants.end()) {
+      ++i;
+      continue;
+    }
+    const std::uint64_t key = stream_key(m.src, m.tag);
+    if (std::find(blocked.begin(), blocked.end(), key) != blocked.end()) {
+      ++i;
+      continue;
+    }
+    if (m.visible_at > now) {
+      if (!result.head_delayed || m.visible_at < result.next_visible)
+        result.next_visible = m.visible_at;
+      result.head_delayed = true;
+      blocked.push_back(key);
+      ++i;
+      continue;
+    }
+    auto& expected = next_deliver_seq_[key];
+    if (m.seq < expected) {
+      // Duplicate delivery: drop and keep scanning. The counter goes into
+      // the RECEIVER's block -- receives run on the owner's thread,
+      // honouring the single-writer contract of util/metrics.hpp.
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++duplicates_dropped_;
+      if (world_ != nullptr)
+        world_->counters(owner_)[util::Counter::kDuplicatesDropped] += 1;
+      continue;
+    }
+    if (m.seq > expected) {
+      throw CommFailure("mailbox of rank " + std::to_string(owner_) +
+                        ": lost message in stream (src=" + std::to_string(m.src) +
+                        ", tag=" + std::to_string(m.tag) + "): expected seq " +
+                        std::to_string(expected) + ", found " + std::to_string(m.seq));
+    }
+
+    result.msg = std::move(queue_[i]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++expected;
+    if (util::crc32(result.msg.payload) != result.msg.crc) {
+      throw CorruptMessage("rank " + std::to_string(owner_) +
+                           ": payload checksum mismatch on message (src=" +
+                           std::to_string(result.msg.src) +
+                           ", tag=" + std::to_string(result.msg.tag) +
+                           ", seq=" + std::to_string(result.msg.seq) + ", " +
+                           std::to_string(result.msg.payload.size()) + " bytes)");
+    }
+    result.delivered = true;
+    result.want_index = static_cast<std::size_t>(match - wants.begin());
+    return result;
+  }
+  return result;
+}
+
+std::pair<Message, std::size_t> Mailbox::get_any_impl(std::span<const Want> wants) {
   std::unique_lock<std::mutex> lock(mutex_);
-  const WaitingGuard waiting(waiting_, src, tag);
+  const WaitingGuard waiting(waiting_, wants);
 
   const bool bounded = timeout_seconds_ > 0;
   const auto deadline =
@@ -74,73 +153,48 @@ Message Mailbox::get(Rank src, Tag tag) {
   for (;;) {
     if (aborted_) throw WorldAborted{};
 
-    // First queued message of the (src, tag) stream -- queue order is put
-    // order, so this preserves per-stream FIFO even with delayed entries: a
-    // delayed head holds its whole stream back instead of being overtaken.
-    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return m.src == src && m.tag == tag;
-    });
-    bool head_delayed = false;
-    Clock::time_point head_visible{};
-    if (it != queue_.end()) {
-      const auto now = Clock::now();
-      if (it->visible_at <= now) {
-        auto& expected = next_deliver_seq_[stream_key(src, tag)];
-        if (it->seq < expected) {
-          // Duplicate delivery: drop and keep scanning. The counter goes
-          // into the RECEIVER's block -- get() runs on the owner's thread,
-          // honouring the single-writer contract of util/metrics.hpp.
-          queue_.erase(it);
-          ++duplicates_dropped_;
-          if (world_ != nullptr)
-            world_->counters(owner_)[util::Counter::kDuplicatesDropped] += 1;
-          continue;
-        }
-        if (it->seq > expected) {
-          throw CommFailure("mailbox of rank " + std::to_string(owner_) +
-                            ": lost message in stream (src=" + std::to_string(src) +
-                            ", tag=" + std::to_string(tag) + "): expected seq " +
-                            std::to_string(expected) + ", found " +
-                            std::to_string(it->seq));
-        }
-
-        Message msg = std::move(*it);
-        queue_.erase(it);
-        ++expected;
-        if (util::crc32(msg.payload) != msg.crc) {
-          throw CorruptMessage("rank " + std::to_string(owner_) +
-                               ": payload checksum mismatch on message (src=" +
-                               std::to_string(src) + ", tag=" + std::to_string(tag) +
-                               ", seq=" + std::to_string(msg.seq) + ", " +
-                               std::to_string(msg.payload.size()) + " bytes)");
-        }
-        return msg;
-      }
-      head_delayed = true;
-      head_visible = it->visible_at;
-    }
+    ScanResult scan = scan_locked(wants);
+    if (scan.delivered) return {std::move(scan.msg), scan.want_index};
 
     if (Clock::now() >= deadline) {
       // Deadline expired with no matching message: assemble the deadlock
       // diagnostic. Our own state is summarised under our (held) lock; the
       // rest of the world via try_lock snapshots.
       std::string report = "comm timeout after " + std::to_string(timeout_seconds_) +
-                           "s: rank " + std::to_string(owner_) + " blocked on (src=" +
-                           std::to_string(src) + ", tag=" + std::to_string(tag) + ")";
+                           "s: rank " + std::to_string(owner_) + " blocked on " +
+                           wants_desc(wants);
       report += "\n  " + status_line_locked();
       if (world_ != nullptr) report += world_->deadlock_report(owner_);
       throw CommTimeout(report);
     }
-    // A delayed stream head or a finite deadline bounds the sleep; iterators
-    // are invalidated by unlocking, so re-scan after every wake.
-    if (head_delayed) {
-      cv_.wait_until(lock, std::min(head_visible, deadline));
+    // A delayed stream head or a finite deadline bounds the sleep; the scan
+    // holds no iterators across the unlock, so just re-scan after every wake.
+    if (scan.head_delayed) {
+      cv_.wait_until(lock, std::min(scan.next_visible, deadline));
     } else if (bounded) {
       cv_.wait_until(lock, deadline);
     } else {
       cv_.wait(lock);
     }
   }
+}
+
+Message Mailbox::get(Rank src, Tag tag) {
+  const Want want{src, tag};
+  return get_any_impl({&want, 1}).first;
+}
+
+std::pair<Message, std::size_t> Mailbox::get_any(std::span<const Want> wants) {
+  return get_any_impl(wants);
+}
+
+std::optional<Message> Mailbox::try_get(Rank src, Tag tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_) throw WorldAborted{};
+  const Want want{src, tag};
+  ScanResult scan = scan_locked({&want, 1});
+  if (!scan.delivered) return std::nullopt;
+  return std::move(scan.msg);
 }
 
 void Mailbox::abort() {

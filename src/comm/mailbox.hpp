@@ -23,9 +23,12 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "comm/message.hpp"
@@ -80,6 +83,26 @@ class Mailbox {
   /// mismatch.
   Message get(Rank src, Tag tag);
 
+  /// One (src, tag) stream a receiver is interested in.
+  struct Want {
+    Rank src;
+    Tag tag;
+  };
+
+  /// Non-blocking receive: deliver the head of the (src, tag) stream if one
+  /// is present and visible, nullopt otherwise. Same dedup/loss/CRC
+  /// semantics as get() -- this is the progress engine's polling primitive.
+  std::optional<Message> try_get(Rank src, Tag tag);
+
+  /// Block until a message matching ANY of `wants` is deliverable, then
+  /// remove and return it together with the index of the want it matched.
+  /// Among streams with deliverable heads, ARRIVAL order wins (the entry
+  /// that was enqueued first), not want order -- the primitive behind
+  /// wait_any and the collectives' arrival-order draining. Per-stream FIFO
+  /// is preserved: a delayed stream head holds its stream back without
+  /// blocking the other wanted streams.
+  std::pair<Message, std::size_t> get_any(std::span<const Want> wants);
+
   /// Wake all blocked receivers with WorldAborted.
   void abort();
 
@@ -100,6 +123,20 @@ class Mailbox {
            static_cast<std::uint32_t>(tag);
   }
   [[nodiscard]] std::string status_line_locked() const;
+
+  /// One pass over the queue under the caller's lock: drop duplicates,
+  /// detect stream gaps, and deliver the oldest visible entry matching any
+  /// want. `head_delayed`/`next_visible` report a matching-but-not-yet-
+  /// visible head so blocking callers can bound their sleep.
+  struct ScanResult {
+    bool delivered{false};
+    Message msg{};
+    std::size_t want_index{0};
+    bool head_delayed{false};
+    std::chrono::steady_clock::time_point next_visible{};
+  };
+  ScanResult scan_locked(std::span<const Want> wants);
+  std::pair<Message, std::size_t> get_any_impl(std::span<const Want> wants);
 
   World* world_;
   Rank owner_;

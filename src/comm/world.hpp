@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/buffer_pool.hpp"
 #include "comm/mailbox.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -78,8 +79,13 @@ class World {
     return trace_ ? trace_->buffer(world_rank) : nullptr;
   }
 
+  /// Shared send-buffer slab pool: typed sends acquire payload buffers here,
+  /// typed receives hand them back after unpacking (see buffer_pool.hpp).
+  [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
+
  private:
   RunOptions options_;
+  BufferPool pool_;
   std::shared_ptr<util::MetricsRegistry> metrics_;
   std::shared_ptr<util::TraceStore> trace_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/exchange_mode.hpp"
+#include "core/overlap_mode.hpp"
 #include "louvain/config.hpp"
 
 namespace dlouvain::core {
@@ -70,6 +71,12 @@ struct DistConfig {
   /// kAuto's crossover: a destination goes delta when 2 * changed entries
   /// <= crossover * mirror list size.
   double delta_exchange_crossover{0.5};
+
+  /// Overlap ghost/delta exchanges with interior compute (see
+  /// core/overlap_mode.hpp). NEVER changes results -- only where the
+  /// blocking wait sits -- so it is excluded from the checkpoint config
+  /// fingerprint, like ghost_exchange_mode.
+  OverlapMode overlap{OverlapMode::kAuto};
 
   /// Process vertices color class by color class (distributed distance-1
   /// coloring, recomputed per phase) so concurrently-deciding vertices are

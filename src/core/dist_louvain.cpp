@@ -80,6 +80,7 @@ struct PhaseTimers {
   util::AccumTimer delta;
   util::AccumTimer allreduce;
   double compute_busy{0};
+  double comm_hidden{0};
 
   void clear() {
     ghost.clear();
@@ -88,6 +89,7 @@ struct PhaseTimers {
     delta.clear();
     allreduce.clear();
     compute_busy = 0;
+    comm_hidden = 0;
   }
 };
 
@@ -168,8 +170,13 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   std::vector<util::ScatterAccumulator<Weight>> scatter(
       static_cast<std::size_t>(pool.num_threads()));
 
+  // Resolve the overlap knob once per phase: auto = on exactly when there is
+  // someone to exchange with. Never changes results (see overlap_mode.hpp);
+  // the schedule below is identical either way, only the waits move.
+  const bool overlap_on = cfg.overlap == OverlapMode::kOn ||
+                          (cfg.overlap == OverlapMode::kAuto && comm.size() > 1);
   const GhostExchangeConfig xcfg{cfg.use_neighbor_exchange, cfg.ghost_exchange_mode,
-                                 cfg.delta_exchange_crossover};
+                                 cfg.delta_exchange_crossover, overlap_on};
 
   // Sweep groups. Without coloring there is ONE group holding every local
   // vertex (paper Algorithm 3 as published). With cfg.use_coloring, vertices
@@ -215,30 +222,37 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     for (auto& order : groups) {
     for (std::size_t i = order.size(); i > 1; --i)
       std::swap(order[i - 1], order[order_rng.next_below(i)]);
-    // (i) latest community assignments for all ghost vertices (Alg. 3 l.4-5).
+    // Interior-first schedule (ISSUE 5): stable-partition the shuffled order
+    // so vertices with no ghost neighbour come first, preserving the shuffled
+    // relative order within each class. The split point is a graph property
+    // -- independent of the thread count AND of the overlap knob -- so every
+    // configuration sweeps the exact same sequence. On one rank there are no
+    // ghosts, every vertex is interior and the partition is a no-op.
+    const auto interior_end = std::stable_partition(
+        order.begin(), order.end(),
+        [&g](VertexId lv) { return !g.is_boundary(lv); });
+    const auto n_interior = static_cast<std::int64_t>(interior_end - order.begin());
+    const auto group_n = static_cast<std::int64_t>(order.size());
+    // First micro-batch that contains a boundary vertex. Batches before it
+    // read no ghost state and may run while the exchange is in flight; the
+    // straddling batch and everything after wait for the absorb + refresh.
+    std::int64_t split_batch = 0;
+    while (split_batch < kSweepBatches &&
+           util::fixed_chunk(group_n, split_batch, kSweepBatches).second <= n_interior)
+      ++split_batch;
+
+    // (i) launch the push of current community assignments for all ghost
+    // vertices (Alg. 3 l.4-5). With overlap on, the collective stays in
+    // flight through the interior batches below; off blocks right here. The
+    // payload snapshots owned_community NOW, before any of this iteration's
+    // moves, in both modes.
     {
       util::ScopedAccum scope(timers.ghost);
       const util::TraceSpan span(tb, "ghost_exchange", "collective", phase, iter);
-      state.ghosts.exchange(comm, state.owned_community, xcfg);
+      state.ghosts.exchange_begin(comm, state.owned_community, xcfg);
     }
 
-    // (ii) authoritative a_c / |c| for every community our vertices or their
-    // neighbours might target. The needed set is maintained incrementally:
-    // the exchange's change log retargets the refcounts (and the slot
-    // mirror), then the subscriber-push refresh fetches only what this rank
-    // newly needs and absorbs owners' pushes for records that changed.
-    {
-      util::ScopedAccum scope(timers.cinfo);
-      const util::TraceSpan span(tb, "community_info", "collective", phase, iter);
-      for (const auto& change : state.ghosts.last_changes()) {
-        state.ledger.release(change.old_value);
-        ghost_comm_slot[static_cast<std::size_t>(change.slot)] = state.ledger.retain(
-            state.ghosts.values()[static_cast<std::size_t>(change.slot)]);
-      }
-      state.ledger.refresh(comm);
-    }
-
-    // (iii) local move computation (Alg. 3 l.6-9), threaded as a sequence of
+    // Local move computation (Alg. 3 l.6-9), threaded as a sequence of
     // bulk-synchronous MICRO-BATCHES. The sweep is cut into kSweepBatches
     // fixed slices (boundaries depend only on the group size, never on the
     // thread count). Within a batch, decisions are computed in parallel
@@ -252,16 +266,15 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // `--threads N` bitwise reproducible. Vertices inside one batch decide
     // against slightly stale neighbour state -- the same staleness the
     // algorithm already tolerates ACROSS ranks every iteration.
-    {
-      util::ScopedAccum scope(timers.compute);
-      const util::TraceSpan span(tb, "compute", "compute", phase, iter);
-      pool.reset_busy();
-      const auto group_n = static_cast<std::int64_t>(order.size());
-      // The ledger's slot space is fixed for the whole sweep: new slots are
-      // only handed out while absorbing the ghost exchange, and moves can
-      // only target communities some slot already references.
-      const auto slot_cap = static_cast<std::size_t>(state.ledger.slot_count());
-      for (std::int64_t batch = 0; batch < kSweepBatches; ++batch) {
+    //
+    // `slot_cap` is the ledger slot-space bound the scatter arrays are sized
+    // to. Interior batches run against the PRE-absorb cap: their arcs only
+    // reference owned destinations, whose community slots were all handed
+    // out before this iteration (new slots appear only in the absorb /
+    // retarget below). Boundary batches re-read the cap after the refresh.
+    const auto run_batches = [&](std::int64_t first_batch, std::int64_t end_batch,
+                                 std::size_t slot_cap) {
+      for (std::int64_t batch = first_batch; batch < end_batch; ++batch) {
         const auto [batch_begin, batch_end] =
             util::fixed_chunk(group_n, batch, kSweepBatches);
         if (batch_begin >= batch_end) continue;
@@ -373,26 +386,96 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
           ++local_moved;
         }
       }
+    };
+
+    // (ii) interior micro-batches, overlapped with the in-flight exchange.
+    {
+      util::ScopedAccum scope(timers.compute);
+      const util::TraceSpan span(tb, "overlap_interior", "overlap", phase, iter);
+      pool.reset_busy();
+      run_batches(0, split_batch, static_cast<std::size_t>(state.ledger.slot_count()));
       const double busy = pool.busy_seconds();
       timers.compute_busy += busy;
       comm.counters().busy_seconds += busy;
     }
 
-    // (iv) ship community deltas to their owners (Alg. 3 l.10-11).
+    // (iii) complete the exchange: drain peer buffers in arrival order,
+    // absorb into the ghost slots in fixed rank order (identical in both
+    // overlap modes -- see ghost_exchange.hpp). The transfer seconds that
+    // elapsed while (ii) computed are the latency the schedule hid.
+    {
+      util::ScopedAccum scope(timers.ghost);
+      const util::TraceSpan span(tb, "ghost_wait", "wait", phase, iter);
+      state.ghosts.exchange_finish(comm);
+      timers.comm_hidden += state.ghosts.last_exchange_stats().hidden_seconds;
+    }
+
+    // (iv) authoritative a_c / |c| for every community our vertices or their
+    // neighbours might target. The needed set is maintained incrementally:
+    // the exchange's change log retargets the refcounts (and the slot
+    // mirror), then the subscriber-push refresh fetches only what this rank
+    // newly needs and absorbs owners' pushes for records that changed.
+    {
+      util::ScopedAccum scope(timers.cinfo);
+      const util::TraceSpan span(tb, "community_info", "collective", phase, iter);
+      for (const auto& change : state.ghosts.last_changes()) {
+        state.ledger.release(change.old_value);
+        ghost_comm_slot[static_cast<std::size_t>(change.slot)] = state.ledger.retain(
+            state.ghosts.values()[static_cast<std::size_t>(change.slot)]);
+      }
+      state.ledger.refresh(comm);
+    }
+
+    // (v) boundary micro-batches, against the refreshed ghost state. The
+    // slot cap is re-read: the absorb/refresh may have slotted new
+    // communities these vertices can now target.
+    {
+      util::ScopedAccum scope(timers.compute);
+      const util::TraceSpan span(tb, "compute", "compute", phase, iter);
+      pool.reset_busy();
+      run_batches(split_batch, kSweepBatches,
+                  static_cast<std::size_t>(state.ledger.slot_count()));
+      const double busy = pool.busy_seconds();
+      timers.compute_busy += busy;
+      comm.counters().busy_seconds += busy;
+    }
+
+    // (vi) ship community deltas to their owners (Alg. 3 l.10-11). Only the
+    // LAST group's flush may stay in flight: the intra-weight pass in the
+    // modularity step reads no ledger state, but an earlier group's refresh
+    // would.
     {
       util::ScopedAccum scope(timers.delta);
       const util::TraceSpan span(tb, "delta_exchange", "collective", phase, iter);
-      state.ledger.flush_deltas(comm);
+      const bool last_group = &order == &groups.back();
+      state.ledger.flush_deltas_begin(comm, overlap_on && last_group);
+      if (!last_group) state.ledger.flush_deltas_finish(comm);
     }
     }  // group loop
 
-    // (v) global modularity (Alg. 3 l.12-13).
+    // (vii) global modularity (Alg. 3 l.12-13). The intra-weight pass runs
+    // first -- it reads communities and ghost values, never ledger records --
+    // so with overlap on it executes while the last group's delta flush is
+    // still in flight. The flush then completes (absorbing incoming deltas in
+    // fixed rank order, same point in both modes) before the owned degree
+    // term is read.
     Weight curr_mod;
     std::int64_t global_moved;
+    Weight intra;
+    {
+      util::ScopedAccum scope(timers.allreduce);
+      const util::TraceSpan span(tb, "overlap_delta", "overlap", phase, iter);
+      intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
+    }
+    {
+      util::ScopedAccum scope(timers.delta);
+      const util::TraceSpan span(tb, "delta_wait", "wait", phase, iter);
+      state.ledger.flush_deltas_finish(comm);
+      timers.comm_hidden += state.ledger.flush_hidden_seconds();
+    }
     {
       util::ScopedAccum scope(timers.allreduce);
       const util::TraceSpan span(tb, "allreduce", "collective", phase, iter);
-      const Weight intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
       const Weight degree_term = state.ledger.owned_degree_term();
       const auto sums = comm.allreduce_sum_vec<Weight>(
           {intra, degree_term, static_cast<Weight>(local_moved),
@@ -470,6 +553,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   telemetry.breakdown.compute_busy = timers.compute_busy;
   telemetry.breakdown.delta_exchange = timers.delta.seconds();
   telemetry.breakdown.allreduce = timers.allreduce.seconds();
+  telemetry.breakdown.comm_hidden = timers.comm_hidden;
   return state;
 }
 

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
@@ -44,6 +45,17 @@ struct GhostExchangeConfig {
   ///   2 * changed_entries <= crossover * mirror_list_size
   /// (a delta entry costs two wire elements where a dense one costs one).
   double delta_crossover{0.5};
+  /// ISSUE 5: leave the collective in flight after exchange_begin() so the
+  /// caller can compute while messages travel; exchange_finish() completes.
+  /// Off = exchange_begin() blocks in place (the seed's synchronous order).
+  /// Identical results either way -- only the wait's position moves.
+  bool overlap{false};
+};
+
+/// Wait/hidden timing of the last completed exchange (overlap telemetry).
+struct GhostExchangeStats {
+  double wait_seconds{0};    ///< blocked in exchange_finish (or _begin, off)
+  double hidden_seconds{0};  ///< exchange latency that overlapped compute
 };
 
 template <typename T>
@@ -97,6 +109,18 @@ class GhostField {
   /// maps local vertex index -> value.
   void exchange(comm::Comm& comm, std::span<const T> owned,
                 const GhostExchangeConfig& cfg) {
+    exchange_begin(comm, owned, cfg);
+    exchange_finish(comm);
+  }
+
+  /// First half of exchange(): deposit every outgoing update and post the
+  /// receives. With cfg.overlap the collective stays in flight (the caller
+  /// computes, then calls exchange_finish()); without it, block right here
+  /// so the order of waits matches the seed's synchronous schedule.
+  void exchange_begin(comm::Comm& comm, std::span<const T> owned,
+                      const GhostExchangeConfig& cfg) {
+    if (pending_.has_value())
+      throw std::logic_error("GhostField: exchange already in flight");
     changes_.clear();
 
     const auto build_payload = [&](Rank r) {
@@ -151,38 +175,6 @@ class GhostField {
       }
     };
 
-    const auto store = [&](std::size_t slot, const T& value) {
-      if (values_[slot] != value) {
-        changes_.push_back(SlotChange{static_cast<std::int64_t>(slot), values_[slot]});
-        values_[slot] = value;
-      }
-    };
-    const auto absorb = [&](Rank r, const std::vector<T>& received) {
-      const auto base = offsets_[static_cast<std::size_t>(r)];
-      const auto count = graph_->ghosts_by_owner()[static_cast<std::size_t>(r)].size();
-      if (count == 0 && received.empty()) return;
-      if (received.empty())
-        throw std::logic_error("GhostField: missing update header");
-      if (received.front() == static_cast<T>(0)) {
-        if (received.size() != count + 1)
-          throw std::logic_error("GhostField: dense update length mismatch");
-        for (std::size_t i = 0; i < count; ++i) store(base + i, received[i + 1]);
-        return;
-      }
-      if constexpr (std::is_integral_v<T>) {
-        if (received.front() != static_cast<T>(1) || received.size() % 2 != 1)
-          throw std::logic_error("GhostField: malformed delta update");
-        for (std::size_t i = 1; i + 1 < received.size(); i += 2) {
-          const auto idx = static_cast<std::size_t>(received[i]);
-          if (idx >= count)
-            throw std::logic_error("GhostField: delta index out of range");
-          store(base + idx, received[i + 1]);
-        }
-        return;
-      }
-      throw std::logic_error("GhostField: delta update for non-integral field");
-    };
-
     if (cfg.use_neighbor) {
       const auto& neighbors = graph_->neighbor_ranks();
       std::vector<std::vector<T>> outbox;
@@ -192,23 +184,53 @@ class GhostField {
         count_payload(outbox.back());
       }
       remember_sent(owned);
-      const auto inbox = comm.neighbor_alltoallv<T>(neighbors, std::move(outbox));
-      for (std::size_t i = 0; i < neighbors.size(); ++i) absorb(neighbors[i], inbox[i]);
-      return;
+      pending_.emplace(comm.ineighbor_alltoallv<T>(neighbors, std::move(outbox)));
+      pending_neighbor_ = true;
+    } else {
+      const int p = comm.size();
+      std::vector<std::vector<T>> outbox(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        if (r == comm.rank()) continue;
+        outbox[static_cast<std::size_t>(r)] = build_payload(static_cast<Rank>(r));
+        count_payload(outbox[static_cast<std::size_t>(r)]);
+      }
+      remember_sent(owned);
+      pending_.emplace(comm.ialltoallv<T>(std::move(outbox)));
+      pending_neighbor_ = false;
     }
+    if (!cfg.overlap) pending_->wait();
+  }
 
-    const int p = comm.size();
-    std::vector<std::vector<T>> outbox(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) {
-      if (r == comm.rank()) continue;
-      outbox[static_cast<std::size_t>(r)] = build_payload(static_cast<Rank>(r));
-      count_payload(outbox[static_cast<std::size_t>(r)]);
+  /// Second half of exchange(): complete the in-flight collective (peer
+  /// buffers drain in arrival order) and absorb every update in FIXED peer
+  /// order -- so changes_ ordering, and everything downstream of it, is
+  /// independent of message timing. Records the wait/hidden stats.
+  void exchange_finish(comm::Comm& comm) {
+    if (!pending_.has_value())
+      throw std::logic_error("GhostField: no exchange in flight");
+    pending_->wait();
+    stats_.wait_seconds = pending_->wait_seconds();
+    stats_.hidden_seconds = pending_->hidden_seconds();
+    const auto inbox = pending_->take();
+    if (pending_neighbor_) {
+      const auto& neighbors = graph_->neighbor_ranks();
+      for (std::size_t i = 0; i < neighbors.size(); ++i)
+        absorb_from(neighbors[i], inbox[i]);
+    } else {
+      for (std::size_t r = 0; r < inbox.size(); ++r) {
+        if (static_cast<Rank>(r) != comm.rank())
+          absorb_from(static_cast<Rank>(r), inbox[r]);
+      }
     }
-    remember_sent(owned);
-    const auto inbox = comm.alltoallv<T>(std::move(outbox));
-    for (int r = 0; r < p; ++r) {
-      if (r != comm.rank()) absorb(static_cast<Rank>(r), inbox[static_cast<std::size_t>(r)]);
-    }
+    pending_.reset();
+  }
+
+  /// True between exchange_begin() and exchange_finish().
+  [[nodiscard]] bool exchange_in_flight() const noexcept { return pending_.has_value(); }
+
+  /// Timing of the last completed exchange (zeros before the first one).
+  [[nodiscard]] const GhostExchangeStats& last_exchange_stats() const noexcept {
+    return stats_;
   }
 
   /// Legacy dense-mode entry points (sparse/dense topology knob only).
@@ -236,6 +258,39 @@ class GhostField {
   [[nodiscard]] const std::vector<T>& values() const { return values_; }
 
  private:
+  void store_slot(std::size_t slot, const T& value) {
+    if (values_[slot] != value) {
+      changes_.push_back(SlotChange{static_cast<std::int64_t>(slot), values_[slot]});
+      values_[slot] = value;
+    }
+  }
+
+  void absorb_from(Rank r, const std::vector<T>& received) {
+    const auto base = offsets_[static_cast<std::size_t>(r)];
+    const auto count = graph_->ghosts_by_owner()[static_cast<std::size_t>(r)].size();
+    if (count == 0 && received.empty()) return;
+    if (received.empty())
+      throw std::logic_error("GhostField: missing update header");
+    if (received.front() == static_cast<T>(0)) {
+      if (received.size() != count + 1)
+        throw std::logic_error("GhostField: dense update length mismatch");
+      for (std::size_t i = 0; i < count; ++i) store_slot(base + i, received[i + 1]);
+      return;
+    }
+    if constexpr (std::is_integral_v<T>) {
+      if (received.front() != static_cast<T>(1) || received.size() % 2 != 1)
+        throw std::logic_error("GhostField: malformed delta update");
+      for (std::size_t i = 1; i + 1 < received.size(); i += 2) {
+        const auto idx = static_cast<std::size_t>(received[i]);
+        if (idx >= count)
+          throw std::logic_error("GhostField: delta index out of range");
+        store_slot(base + idx, received[i + 1]);
+      }
+      return;
+    }
+    throw std::logic_error("GhostField: delta update for non-integral field");
+  }
+
   void init_offsets() {
     offsets_.resize(graph_->ghosts_by_owner().size() + 1, 0);
     for (std::size_t r = 0; r < graph_->ghosts_by_owner().size(); ++r)
@@ -253,6 +308,9 @@ class GhostField {
   std::vector<T> prev_owned_;         ///< by local vertex: value last sent
   std::vector<std::size_t> offsets_;  ///< slot offset per owner rank
   std::vector<SlotChange> changes_;   ///< slots the last exchange rewrote
+  std::optional<comm::PendingAlltoallv<T>> pending_;  ///< in-flight collective
+  bool pending_neighbor_{false};      ///< topology of pending_
+  GhostExchangeStats stats_;          ///< last completed exchange's timing
 };
 
 /// The Louvain community field: ghosts start in their own community.

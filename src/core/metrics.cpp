@@ -55,7 +55,8 @@ void append_breakdown_json(std::string& out, const TimeBreakdown& b) {
          ",\"delta_exchange\":" + json_number(b.delta_exchange) +
          ",\"allreduce\":" + json_number(b.allreduce) +
          ",\"rebuild\":" + json_number(b.rebuild) +
-         ",\"compute_busy\":" + json_number(b.compute_busy) + '}';
+         ",\"compute_busy\":" + json_number(b.compute_busy) +
+         ",\"comm_hidden\":" + json_number(b.comm_hidden) + '}';
 }
 
 std::string dist_result_to_json(const DistResult& r) {

@@ -1,0 +1,27 @@
+#include "core/overlap_mode.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dlouvain::core {
+
+std::optional<OverlapMode> parse_overlap_mode(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "off") return OverlapMode::kOff;
+  if (lower == "on") return OverlapMode::kOn;
+  if (lower == "auto") return OverlapMode::kAuto;
+  return std::nullopt;
+}
+
+std::string overlap_mode_label(OverlapMode mode) {
+  switch (mode) {
+    case OverlapMode::kOff: return "off";
+    case OverlapMode::kOn: return "on";
+    case OverlapMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace dlouvain::core

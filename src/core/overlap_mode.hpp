@@ -1,0 +1,33 @@
+// Communication/compute overlap modes, shared between DistConfig, the sweep
+// scheduler and the CLI so spellings cannot drift.
+//
+// With overlap on, each iteration launches the ghost exchange without
+// blocking, sweeps the interior micro-batches (vertices with no ghost
+// neighbours) while the messages are in flight, and only completes the
+// exchange before the first boundary batch; the community-delta ship at
+// iteration end overlaps the modularity bookkeeping the same way. The
+// schedule is identical in both modes -- only the position of the blocking
+// wait moves -- so overlap NEVER changes results (bitwise, at any thread
+// count). See DESIGN.md "Interior/boundary overlap".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dlouvain::core {
+
+enum class OverlapMode {
+  kOff,   ///< block on the exchange where it is launched (the seed's order)
+  kOn,    ///< sweep interior batches while the exchange is in flight
+  kAuto,  ///< on for multi-rank worlds, off for single-rank (nothing to hide)
+};
+
+/// CLI spelling ("off" / "on" / "auto", case-insensitive); nullopt for
+/// anything else -- callers own the error message.
+std::optional<OverlapMode> parse_overlap_mode(std::string_view name);
+
+/// Inverse of parse_overlap_mode, for labels and telemetry dumps.
+std::string overlap_mode_label(OverlapMode mode);
+
+}  // namespace dlouvain::core

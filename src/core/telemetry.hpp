@@ -38,6 +38,16 @@ struct TimeBreakdown {
   /// these seconds overlap the `compute` wall time.
   double compute_busy{0};
 
+  /// Exchange latency (ghost + delta collectives) that elapsed while this
+  /// rank was computing instead of blocked waiting -- what the overlap
+  /// schedule actually hid (ISSUE 5). Summed PER PEER BUFFER: each incoming
+  /// buffer contributes its in-flight span from the collective's launch to
+  /// the earlier of its delivery and the blocking wait (so it can exceed the
+  /// compute wall when many peers' latency is hidden at once). ~0 with
+  /// overlap off. NOT part of total(): these seconds overlap the compute
+  /// wall time by definition.
+  double comm_hidden{0};
+
   [[nodiscard]] double total() const {
     return ghost_exchange + community_info + compute + delta_exchange + allreduce +
            rebuild;
@@ -51,6 +61,7 @@ struct TimeBreakdown {
     allreduce += other.allreduce;
     rebuild += other.rebuild;
     compute_busy += other.compute_busy;
+    comm_hidden += other.comm_hidden;
     return *this;
   }
 };

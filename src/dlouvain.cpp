@@ -50,6 +50,7 @@ core::DistConfig Plan::dist_config() const {
   cfg.record_iterations = record_iterations_;
   cfg.ghost_exchange_mode = exchange_mode_;
   cfg.delta_exchange_crossover = exchange_crossover_;
+  cfg.overlap = overlap_;
   cfg.threads_per_rank = threads_;
   cfg.checkpoint.dir = checkpoint_dir_;
   cfg.checkpoint.every = checkpoint_every_;

@@ -51,6 +51,10 @@ using core::Variant;
 /// Ghost-exchange wire modes (core/exchange_mode.hpp), re-exported likewise.
 using core::GhostExchangeMode;
 
+/// Communication/compute overlap modes (core/overlap_mode.hpp), re-exported
+/// likewise.
+using core::OverlapMode;
+
 /// Which implementation a Plan dispatches to.
 enum class Engine {
   kSerial,       ///< single-threaded reference (louvain/serial.hpp)
@@ -169,6 +173,10 @@ class Plan {
   Plan& exchange(GhostExchangeMode mode) { exchange_mode_ = mode; return *this; }
   /// kAuto's delta crossover threshold (see DistConfig).
   Plan& exchange_crossover(double c) { exchange_crossover_ = c; return *this; }
+  /// Overlap ghost/delta exchanges with interior compute (distributed
+  /// engine). Never changes results -- only where the blocking waits sit.
+  /// kAuto (the default) = on whenever there is more than one rank.
+  Plan& overlap(OverlapMode mode) { overlap_ = mode; return *this; }
 
   // -- fault tolerance (distributed engine; see docs/FAULT_TOLERANCE.md) --
   /// Write phase-boundary checkpoints into `dir` (every `every` phases).
@@ -236,6 +244,7 @@ class Plan {
   bool record_iterations_{true};
   GhostExchangeMode exchange_mode_{GhostExchangeMode::kAuto};
   double exchange_crossover_{0.5};
+  OverlapMode overlap_{OverlapMode::kAuto};
   std::string checkpoint_dir_;
   int checkpoint_every_{1};
   bool resume_{false};

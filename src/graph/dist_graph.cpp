@@ -221,6 +221,25 @@ void DistGraph::discover_ghosts(comm::Comm& comm) {
                               static_cast<std::int64_t>(ghost_index_.at(dst));
   }
 
+  // Interior/boundary split (ISSUE 5): a vertex whose row references no
+  // ghost slot can decide its move from purely rank-local state, so the
+  // sweep may process it while a ghost exchange is still in flight. Derived
+  // from dst_slots_, so it costs one extra O(arcs) pass at build time.
+  boundary_flags_.assign(static_cast<std::size_t>(local_count()), 0);
+  boundary_count_ = 0;
+  const auto& offsets = local_.offsets();
+  for (VertexId lv = 0; lv < local_count(); ++lv) {
+    const auto lo = static_cast<std::size_t>(offsets[static_cast<std::size_t>(lv)]);
+    const auto hi = static_cast<std::size_t>(offsets[static_cast<std::size_t>(lv) + 1]);
+    for (std::size_t a = lo; a < hi; ++a) {
+      if (dst_slots_[a] >= static_cast<std::int64_t>(local_count())) {
+        boundary_flags_[static_cast<std::size_t>(lv)] = 1;
+        ++boundary_count_;
+        break;
+      }
+    }
+  }
+
   // ...then tell each owner which of its vertices we ghost, so owners know
   // their send lists (mirrors) for the per-iteration community updates.
   mirrors_ = comm.alltoallv<VertexId>(ghosts_by_owner_);

@@ -82,6 +82,22 @@ class DistGraph {
     return mirrors_;
   }
 
+  /// Interior/boundary classification (ISSUE 5): a vertex is BOUNDARY when
+  /// at least one of its arcs resolves to a ghost slot, INTERIOR otherwise.
+  /// Interior vertices' move decisions read no ghost vertex state, so the
+  /// sweep can process them while a ghost exchange is still in flight.
+  [[nodiscard]] bool is_boundary(VertexId lv) const {
+    return boundary_flags_[static_cast<std::size_t>(lv)] != 0;
+  }
+  /// One flag per owned vertex (local index), nonzero = boundary.
+  [[nodiscard]] const std::vector<char>& boundary_flags() const noexcept {
+    return boundary_flags_;
+  }
+  [[nodiscard]] VertexId boundary_count() const noexcept { return boundary_count_; }
+  [[nodiscard]] VertexId interior_count() const noexcept {
+    return local_count() - boundary_count_;
+  }
+
   /// Ranks this rank exchanges ghost traffic with (sorted, self excluded).
   /// Symmetric across the world for symmetric graphs: r lists s iff s lists
   /// r. This is the static topology the neighbourhood collectives use.
@@ -129,6 +145,8 @@ class DistGraph {
   EdgeId global_arcs_{0};
   std::vector<VertexId> ghosts_;
   std::vector<std::int64_t> dst_slots_;
+  std::vector<char> boundary_flags_;
+  VertexId boundary_count_{0};
   std::unordered_map<VertexId, std::size_t> ghost_index_;
   std::vector<std::vector<VertexId>> ghosts_by_owner_;
   std::vector<std::vector<VertexId>> mirrors_;

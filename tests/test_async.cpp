@@ -1,0 +1,450 @@
+// ISSUE 5 guarantees, pinned as tests:
+//
+//  * the async handle layer (Comm::irecv / isend, wait_any / wait_all,
+//    PendingAlltoallv) completes whichever peer's buffer lands first, while
+//    per-(src, tag) FIFO order and abort propagation still hold;
+//  * arrival-order draining never changes what a collective returns, even
+//    when the transport delays and duplicates messages;
+//  * DistGraph's interior/boundary classification matches the definition
+//    "has an arc to a non-owned vertex" on ring, star and RMAT graphs;
+//  * overlap on / off / auto produce BITWISE identical results -- community
+//    vector, modularity bits, checkpoint bytes -- at every thread count,
+//    under fault injection, and through crash recovery;
+//  * the comm_hidden telemetry is reported, non-negative, and excluded from
+//    the breakdown's total().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/async.hpp"
+#include "comm/comm.hpp"
+#include "comm/fault.hpp"
+#include "comm/world.hpp"
+#include "core/metrics.hpp"
+#include "dlouvain.hpp"
+#include "gen/rmat.hpp"
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+#include "util/crc32.hpp"
+
+namespace {
+
+using namespace dlouvain;
+namespace dc = dlouvain::comm;
+namespace dg = dlouvain::graph;
+
+std::uint32_t crc_of(const std::vector<CommunityId>& v) {
+  return util::crc32(v.data(), v.size() * sizeof(CommunityId));
+}
+
+graph::Csr rmat10() {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edges_per_vertex = 8;
+  p.seed = 42;
+  const auto g = gen::rmat(p);
+  return graph::from_edges(g.num_vertices, g.edges);
+}
+
+// ---- async handle layer -----------------------------------------------------
+
+TEST(Async, IrecvTakeRoundTrip) {
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      (void)comm.isend<int>(1, 7, std::vector<int>{1, 2, 3});
+    } else {
+      auto h = comm.irecv(0, 7);
+      EXPECT_TRUE(h.valid());
+      EXPECT_EQ(h.take<int>(), (std::vector<int>{1, 2, 3}));
+      EXPECT_TRUE(h.done());
+    }
+  });
+}
+
+TEST(Async, TestDoesNotBlockBeforeArrival) {
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      // Only send AFTER rank 1 confirms it observed the pending handle.
+      EXPECT_EQ(comm.recv_value<int>(1, 1), 42);
+      (void)comm.isend<int>(1, 2, std::vector<int>{9});
+    } else {
+      auto h = comm.irecv(0, 2);
+      EXPECT_FALSE(h.done());
+      EXPECT_FALSE(h.test());  // nothing sent yet -- must not block
+      comm.send_value<int>(0, 1, 42);
+      h.wait();
+      EXPECT_TRUE(h.done());
+      EXPECT_TRUE(h.test());  // idempotent after completion
+      EXPECT_EQ(h.take<int>(), (std::vector<int>{9}));
+    }
+  });
+}
+
+TEST(Async, WaitAnyReturnsWhicheverArrivedFirst) {
+  // Rank 0 enqueues tag 10, then tag 11, then a flag; the mailbox queue
+  // preserves put order, so once the flag is receivable both payloads are
+  // already queued in that order. wait_any must then hand them back
+  // oldest-arrival-first regardless of the handle order we pass.
+  dc::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      (void)comm.isend<int>(1, 10, std::vector<int>{10});
+      (void)comm.isend<int>(1, 11, std::vector<int>{11});
+      comm.send_value<int>(1, 12, 1);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 12), 1);
+      auto ha = comm.irecv(0, 11);  // handle order reversed on purpose
+      auto hb = comm.irecv(0, 10);
+      std::vector<dc::RecvHandle*> handles{&ha, &hb};
+      const auto first = dc::wait_any(std::span<dc::RecvHandle* const>(handles));
+      EXPECT_EQ(first, 1u);  // tag 10 was put first
+      EXPECT_EQ(hb.take<int>(), (std::vector<int>{10}));
+      dc::wait_all(std::span<dc::RecvHandle* const>(handles));
+      EXPECT_EQ(ha.take<int>(), (std::vector<int>{11}));
+    }
+  });
+}
+
+TEST(Async, WaitAnySkipsStillPendingPeer) {
+  // A receive posted toward a quiet peer must not stall completion of the
+  // one that actually arrives: rank 0 only sends after rank 1 proves its
+  // wait_any returned the rank-2 buffer.
+  dc::run(3, [](dc::Comm& comm) {
+    if (comm.rank() == 2) {
+      (void)comm.isend<int>(1, 5, std::vector<int>{22});
+    } else if (comm.rank() == 1) {
+      auto from0 = comm.irecv(0, 5);  // nothing sent yet: pending throughout
+      auto from2 = comm.irecv(2, 5);
+      std::vector<dc::RecvHandle*> handles{&from0, &from2};
+      const auto i = dc::wait_any(std::span<dc::RecvHandle* const>(handles));
+      EXPECT_EQ(i, 1u);
+      EXPECT_EQ(from2.take<int>(), (std::vector<int>{22}));
+      comm.send_value<int>(0, 6, 1);  // now release rank 0's send
+      from0.wait();
+      EXPECT_EQ(from0.take<int>(), (std::vector<int>{20}));
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(1, 6), 1);
+      (void)comm.isend<int>(1, 5, std::vector<int>{20});
+    }
+  });
+}
+
+TEST(Async, AbortDuringPendingIrecvUnblocks) {
+  EXPECT_THROW(dc::run(3,
+                       [](dc::Comm& comm) {
+                         if (comm.rank() == 0) throw std::runtime_error("boom");
+                         auto h = comm.irecv(0, 99);
+                         h.wait();  // must throw WorldAborted, not hang
+                       }),
+               std::runtime_error);
+}
+
+// ---- arrival-order collectives under faulty transport -----------------------
+
+TEST(ArrivalOrder, AlltoallvMatchesExpectedUnderDelayAndDuplication) {
+  dc::RunOptions options;
+  options.faults = std::make_shared<dc::FaultInjector>(
+      dc::FaultPlan().with_seed(13).delay(0.3, 0.5).duplicate(0.2));
+  dc::run(
+      4,
+      [](dc::Comm& comm) {
+        const int p = comm.size();
+        for (int round = 0; round < 8; ++round) {
+          std::vector<std::vector<int>> outbox(static_cast<std::size_t>(p));
+          for (int dst = 0; dst < p; ++dst)
+            outbox[static_cast<std::size_t>(dst)] = {
+                comm.rank() * 1000 + dst * 10 + round};
+          const auto inbox = comm.alltoallv<int>(std::move(outbox));
+          for (int src = 0; src < p; ++src) {
+            ASSERT_EQ(inbox[static_cast<std::size_t>(src)],
+                      (std::vector<int>{src * 1000 + comm.rank() * 10 + round}))
+                << "round " << round << " src " << src;
+          }
+        }
+      },
+      options);
+}
+
+TEST(ArrivalOrder, NeighborAlltoallvMatchesExpectedUnderFaults) {
+  dc::RunOptions options;
+  options.faults = std::make_shared<dc::FaultInjector>(
+      dc::FaultPlan().with_seed(29).delay(0.3, 0.5).duplicate(0.2));
+  dc::run(
+      4,
+      [](dc::Comm& comm) {
+        // Fully-connected neighbourhood, peer lists in rank order.
+        std::vector<Rank> neighbors;
+        for (Rank r = 0; r < comm.size(); ++r)
+          if (r != comm.rank()) neighbors.push_back(r);
+        for (int round = 0; round < 8; ++round) {
+          std::vector<std::vector<int>> outbox(neighbors.size());
+          for (std::size_t i = 0; i < neighbors.size(); ++i)
+            outbox[i] = {comm.rank() * 100 + neighbors[i] * 10 + round};
+          const auto inbox =
+              comm.neighbor_alltoallv<int>(neighbors, std::move(outbox));
+          for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            ASSERT_EQ(inbox[i], (std::vector<int>{neighbors[i] * 100 +
+                                                  comm.rank() * 10 + round}))
+                << "round " << round << " neighbor " << neighbors[i];
+          }
+        }
+      },
+      options);
+}
+
+TEST(ArrivalOrder, PendingAlltoallvTestAbsorbsEarlyArrivals) {
+  dc::run(3, [](dc::Comm& comm) {
+    std::vector<std::vector<int>> outbox(3);
+    for (int dst = 0; dst < 3; ++dst) outbox[static_cast<std::size_t>(dst)] = {dst};
+    auto pending = comm.ialltoallv<int>(std::move(outbox));
+    (void)pending.test();  // nonblocking; may or may not complete
+    const auto inbox = pending.take();
+    EXPECT_TRUE(pending.done());
+    for (int src = 0; src < 3; ++src)
+      EXPECT_EQ(inbox[static_cast<std::size_t>(src)],
+                (std::vector<int>{comm.rank()}));
+    EXPECT_GE(pending.wait_seconds(), 0.0);
+    EXPECT_GE(pending.hidden_seconds(), 0.0);
+  });
+}
+
+// ---- interior/boundary classification ---------------------------------------
+
+/// For every owned vertex, is_boundary must equal "some incident arc leaves
+/// the owned range" computed straight from the replicated CSR.
+void expect_classification_matches(const graph::Csr& csr, int ranks) {
+  dc::run(ranks, [&](dc::Comm& comm) {
+    const auto dist = dg::DistGraph::from_replicated(comm, csr);
+    const auto& offsets = csr.offsets();
+    const auto& arcs = csr.edges();
+    VertexId boundary = 0;
+    for (VertexId lv = 0; lv < dist.local_count(); ++lv) {
+      const auto gv = dist.to_global(lv);
+      bool expect_boundary = false;
+      for (auto a = static_cast<std::size_t>(offsets[static_cast<std::size_t>(gv)]);
+           a < static_cast<std::size_t>(offsets[static_cast<std::size_t>(gv) + 1]);
+           ++a) {
+        if (!dist.owns(arcs[a].dst)) {
+          expect_boundary = true;
+          break;
+        }
+      }
+      EXPECT_EQ(dist.is_boundary(lv), expect_boundary)
+          << "rank " << comm.rank() << " vertex " << gv;
+      if (expect_boundary) ++boundary;
+    }
+    EXPECT_EQ(dist.boundary_count(), boundary);
+    EXPECT_EQ(dist.interior_count(), dist.local_count() - boundary);
+  });
+}
+
+TEST(Boundary, RingClassification) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 8; ++v) edges.push_back({v, (v + 1) % 8, 1.0});
+  const auto csr = graph::from_edges(8, edges);
+  expect_classification_matches(csr, 2);
+  expect_classification_matches(csr, 4);
+}
+
+TEST(Boundary, StarClassification) {
+  std::vector<Edge> edges;
+  for (VertexId leaf = 1; leaf < 10; ++leaf) edges.push_back({0, leaf, 1.0});
+  const auto csr = graph::from_edges(10, edges);
+  expect_classification_matches(csr, 2);
+  expect_classification_matches(csr, 3);
+}
+
+TEST(Boundary, RmatClassification) {
+  gen::RmatParams p;
+  p.scale = 7;
+  p.edges_per_vertex = 8;
+  p.seed = 9;
+  const auto g = gen::rmat(p);
+  const auto csr = graph::from_edges(g.num_vertices, g.edges);
+  expect_classification_matches(csr, 3);
+}
+
+TEST(Boundary, SingleRankHasNoBoundary) {
+  const auto csr = rmat10();
+  dc::run(1, [&](dc::Comm& comm) {
+    const auto dist = dg::DistGraph::from_replicated(comm, csr);
+    EXPECT_EQ(dist.boundary_count(), 0);
+    EXPECT_EQ(dist.interior_count(), dist.local_count());
+  });
+}
+
+// ---- overlap on/off bitwise identity ----------------------------------------
+
+struct Bits {
+  std::uint64_t modularity;
+  std::uint32_t community_crc;
+  int phases;
+  long iterations;
+
+  bool operator==(const Bits&) const = default;
+};
+
+Bits bits_of(const Result& r) {
+  return {std::bit_cast<std::uint64_t>(r.modularity), crc_of(r.community),
+          r.phases, r.total_iterations};
+}
+
+TEST(Overlap, OnOffAutoBitwiseIdenticalAcrossThreadCounts) {
+  const auto g = rmat10();
+  for (const int threads : {1, 4, 16}) {
+    const auto off = bits_of(Plan::distributed(4)
+                                 .threads(threads)
+                                 .seed(123)
+                                 .overlap(OverlapMode::kOff)
+                                 .run(g));
+    const auto on = bits_of(Plan::distributed(4)
+                                .threads(threads)
+                                .seed(123)
+                                .overlap(OverlapMode::kOn)
+                                .run(g));
+    const auto auto_mode = bits_of(Plan::distributed(4)
+                                       .threads(threads)
+                                       .seed(123)
+                                       .overlap(OverlapMode::kAuto)
+                                       .run(g));
+    EXPECT_EQ(off, on) << "threads " << threads;
+    EXPECT_EQ(off, auto_mode) << "threads " << threads;
+  }
+}
+
+TEST(Overlap, ColoringAndVariantsUnaffected) {
+  const auto g = rmat10();
+  for (const bool coloring : {false, true}) {
+    const auto off = bits_of(Plan::distributed(3)
+                                 .threads(2)
+                                 .seed(123)
+                                 .coloring(coloring)
+                                 .variant(Variant::kEtc)
+                                 .overlap(OverlapMode::kOff)
+                                 .run(g));
+    const auto on = bits_of(Plan::distributed(3)
+                                .threads(2)
+                                .seed(123)
+                                .coloring(coloring)
+                                .variant(Variant::kEtc)
+                                .overlap(OverlapMode::kOn)
+                                .run(g));
+    EXPECT_EQ(off, on) << "coloring " << coloring;
+  }
+}
+
+TEST(Overlap, SurvivesDelayAndDuplicationFaults) {
+  const auto g = rmat10();
+  const auto faults = dc::FaultPlan().with_seed(11).delay(0.05, 0.5).duplicate(0.05);
+  const auto off = bits_of(Plan::distributed(4)
+                               .threads(1)
+                               .seed(123)
+                               .overlap(OverlapMode::kOff)
+                               .inject_faults(faults)
+                               .run(g));
+  const auto on = bits_of(Plan::distributed(4)
+                              .threads(1)
+                              .seed(123)
+                              .overlap(OverlapMode::kOn)
+                              .inject_faults(faults)
+                              .run(g));
+  EXPECT_EQ(off, on);
+}
+
+std::vector<std::pair<std::string, std::vector<char>>> snapshot_dir(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::string, std::vector<char>>> files;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    // counters.bin carries wall-clock seconds: excluded, like in
+    // test_hotpath's exchange-mode byte-identity contract.
+    if (entry.path().filename() == "counters.bin") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    files.emplace_back(entry.path().lexically_relative(dir).string(),
+                       std::vector<char>(std::istreambuf_iterator<char>(in),
+                                         std::istreambuf_iterator<char>()));
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Overlap, CheckpointsAreByteIdenticalAcrossModes) {
+  const auto g = rmat10();
+  const auto base = std::filesystem::temp_directory_path() / "dlel_ckpt_overlap";
+  std::filesystem::remove_all(base);
+
+  std::vector<std::vector<std::pair<std::string, std::vector<char>>>> snapshots;
+  for (const auto mode : {OverlapMode::kOff, OverlapMode::kOn}) {
+    const auto dir = base / core::overlap_mode_label(mode);
+    const auto result = Plan::distributed(2)
+                            .threads(1)
+                            .seed(123)
+                            .overlap(mode)
+                            .checkpointing(dir.string(), 1)
+                            .run(g);
+    EXPECT_GT(result.phases, 1);
+    snapshots.push_back(snapshot_dir(dir));
+  }
+  ASSERT_FALSE(snapshots[0].empty());
+  EXPECT_EQ(snapshots[0], snapshots[1]) << "overlap off vs on checkpoint bytes";
+  std::filesystem::remove_all(base);
+}
+
+TEST(Overlap, CrashRecoveryWithOverlapOnMatchesCleanRun) {
+  const auto g = rmat10();
+  const auto dir =
+      std::filesystem::temp_directory_path() / "dlel_ckpt_overlap_crash";
+  std::filesystem::remove_all(dir);
+
+  const auto clean = bits_of(
+      Plan::distributed(4).threads(1).seed(123).overlap(OverlapMode::kOn).run(g));
+  const auto recovered = Plan::distributed(4)
+                             .threads(1)
+                             .seed(123)
+                             .overlap(OverlapMode::kOn)
+                             .checkpointing(dir.string(), 1)
+                             .inject_faults(dc::FaultPlan().crash(1, 2))
+                             .max_restarts(2)
+                             .run(g);
+  EXPECT_GT(recovered.recovery.attempts, 1);
+  EXPECT_EQ(bits_of(recovered), clean);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- comm_hidden telemetry --------------------------------------------------
+
+TEST(Overlap, CommHiddenReportedAndExcludedFromTotal) {
+  const auto g = rmat10();
+  const auto r =
+      Plan::distributed(4).threads(1).seed(123).overlap(OverlapMode::kOn).run(g);
+  ASSERT_TRUE(r.distributed.has_value());
+  const auto& b = r.distributed->breakdown;
+  EXPECT_GE(b.comm_hidden, 0.0);
+  // total() is the attributed wall-time split; hidden seconds overlap the
+  // compute wall time and must not be double counted into it.
+  EXPECT_EQ(b.total(), b.ghost_exchange + b.community_info + b.compute +
+                           b.delta_exchange + b.allreduce + b.rebuild);
+  const auto json = core::dist_result_to_json(*r.distributed);
+  EXPECT_NE(json.find("\"comm_hidden\":"), std::string::npos);
+}
+
+TEST(Overlap, OffModeHidesNothing) {
+  const auto g = rmat10();
+  const auto r =
+      Plan::distributed(2).threads(1).seed(123).overlap(OverlapMode::kOff).run(g);
+  ASSERT_TRUE(r.distributed.has_value());
+  // With the wait inside exchange_begin, every transfer second is spent
+  // blocked; the hidden metric can only be a scheduling-jitter epsilon.
+  EXPECT_LT(r.distributed->breakdown.comm_hidden, 0.05);
+}
+
+}  // namespace

@@ -15,6 +15,13 @@ With --manifest, additionally validates a run manifest produced by
 `dlouvain_cli --metrics-out` (or Plan::metrics): schema id, counter catalog
 and internal consistency (whole-job totals == restored + executed).
 
+When the current results carry an `overlap_ablation` section (the PR5 trail,
+`micro_kernels --pr5_json=...`), it is validated too: the on/off runs must
+have produced identical results, overlap-off must hide ~nothing, and the
+hidden fraction (comm_hidden / total exchange latency of the overlap-on run)
+must reach --min-hidden. Use --emit pr5 with --bench to produce the PR5
+trail instead of the PR3 one (adds --ranks / --delay-ms knobs).
+
 Exit code 0 = within bounds, 1 = regression or malformed input,
 2 = missing input file (e.g. the baseline was never committed).
 
@@ -24,6 +31,9 @@ Usage:
   check_bench_regression.py --baseline BENCH_PR3.json --current fresh.json
   check_bench_regression.py --baseline BENCH_PR3.json --current fresh.json \
       --manifest run_manifest.json
+  check_bench_regression.py --baseline BENCH_PR5.json --emit pr5 \
+      --bench build/bench/micro_kernels --scale 12 --dist-scale 10 \
+      --ranks 4 --reps 2 --min-hidden 0
 """
 
 import argparse
@@ -83,6 +93,43 @@ def check_manifest(manifest, failures):
           f"({executed} executed, {restored.get('messages', 0)} restored): ok")
 
 
+def check_overlap_ablation(ablation, min_hidden, failures):
+    """Validate the PR5 overlap on/off ablation; append problems to failures.
+
+    Three contracts: (1) overlap is a schedule change only, so the on and off
+    runs must have produced bitwise-identical results; (2) with overlap off
+    nothing is overlapped, so comm_hidden must be ~0; (3) with overlap on, the
+    interior-first schedule must hide at least min_hidden of the total
+    exchange latency (blocked wall + hidden) behind compute.
+    """
+    for key in ("identical", "off", "on", "hidden_fraction", "comm_hidden"):
+        if key not in ablation:
+            failures.append(f"overlap_ablation missing '{key}'")
+            return
+    if ablation["identical"] is not True:
+        failures.append("overlap on/off runs did not produce identical results")
+    off = ablation["off"]
+    off_hidden = off.get("comm_hidden", 0.0)
+    off_exchange = off.get("ghost_exchange", 0.0) + off.get("delta_exchange", 0.0)
+    # Off-mode tolerance: the blocking wait can still observe a message that
+    # arrived a hair before it began; anything beyond 1% of the exchange wall
+    # means the off path is overlapping, which it must not.
+    if off_hidden > 0.01 * max(off_exchange, 1e-9):
+        failures.append(
+            f"overlap-off run hid {off_hidden:.4f}s of {off_exchange:.4f}s "
+            f"exchange latency (> 1%); off mode must not overlap")
+    fraction = ablation["hidden_fraction"]
+    print(f"overlap ablation: ranks={ablation.get('ranks')} "
+          f"scale={ablation.get('scale')} delay={ablation.get('delay_ms')}ms  "
+          f"hidden {ablation['comm_hidden']:.3f}s of "
+          f"{ablation['comm_hidden'] + ablation.get('exchange_wall', 0.0):.3f}s "
+          f"exchange latency ({fraction:.1%}, floor {min_hidden:.0%})")
+    if fraction < min_hidden:
+        failures.append(
+            f"overlap hid only {fraction:.1%} of exchange latency "
+            f"(floor {min_hidden:.0%})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
@@ -98,21 +145,34 @@ def main():
                         help="required hash/flat local-move ratio in the fresh run")
     parser.add_argument("--manifest",
                         help="also validate this --metrics-out run manifest")
+    parser.add_argument("--emit", choices=("pr3", "pr5"), default="pr3",
+                        help="which trail --bench should produce (default pr3)")
+    parser.add_argument("--ranks", type=int, default=8,
+                        help="ranks for the pr5 overlap ablation")
+    parser.add_argument("--delay-ms", type=float, default=1.0,
+                        help="simulated per-message wire latency for pr5")
+    parser.add_argument("--min-hidden", type=float, default=0.30,
+                        help="required hidden fraction of exchange latency "
+                             "when an overlap_ablation section is present")
     args = parser.parse_args()
 
     if bool(args.current) == bool(args.bench):
         parser.error("pass exactly one of --current or --bench")
 
     if args.bench:
-        fd, current_path = tempfile.mkstemp(suffix=".json", prefix="bench_pr3_")
+        fd, current_path = tempfile.mkstemp(suffix=".json",
+                                            prefix=f"bench_{args.emit}_")
         os.close(fd)
         cmd = [
             args.bench,
-            f"--pr3_json={current_path}",
-            f"--pr3_scale={args.scale}",
-            f"--pr3_dist_scale={args.dist_scale}",
-            f"--pr3_reps={args.reps}",
+            f"--{args.emit}_json={current_path}",
+            f"--{args.emit}_scale={args.scale}",
+            f"--{args.emit}_dist_scale={args.dist_scale}",
+            f"--{args.emit}_reps={args.reps}",
         ]
+        if args.emit == "pr5":
+            cmd += [f"--pr5_ranks={args.ranks}",
+                    f"--pr5_delay_ms={args.delay_ms}"]
         print("+", " ".join(cmd), flush=True)
         result = subprocess.run(cmd)
         if result.returncode != 0:
@@ -127,6 +187,9 @@ def main():
     failures = []
     if args.manifest:
         check_manifest(load(args.manifest, "manifest"), failures)
+    if "overlap_ablation" in current:
+        check_overlap_ablation(current["overlap_ablation"], args.min_hidden,
+                               failures)
     base_kernels = baseline.get("kernels", {})
     curr_kernels = current.get("kernels", {})
     same_input = baseline.get("graph") == current.get("graph")
