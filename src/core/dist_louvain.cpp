@@ -34,9 +34,16 @@ constexpr std::int64_t kSweepBatches = 64;
 /// each directed arc is counted once, by its source's owner). Threaded over
 /// the fixed-chunk deterministic reduction, so the value -- and therefore
 /// every modularity bit -- is identical at any thread count.
+///
+/// `row_mask`, when non-null, restricts the sum to rows whose flag equals
+/// `masked_value` -- the warm-start split: rows no phase-0 move can touch
+/// (vertex and all neighbours frozen) contribute a constant, computed once,
+/// while only the affected rows are rescanned per iteration.
 Weight local_intra_weight(util::ThreadPool& pool, const graph::DistGraph& g,
                           std::span<const CommunityId> owned_community,
-                          const GhostCommunities& ghosts) {
+                          const GhostCommunities& ghosts,
+                          const std::vector<char>* row_mask = nullptr,
+                          bool masked_value = true) {
   const auto& row = g.local().offsets();
   const auto& arcs = g.local().edges();
   const auto& dst_slot = g.dst_slots();
@@ -46,6 +53,9 @@ Weight local_intra_weight(util::ThreadPool& pool, const graph::DistGraph& g,
       &pool, g.local_count(), [&](std::int64_t begin, std::int64_t end) {
         Weight intra = 0;
         for (VertexId lv = begin; lv < end; ++lv) {
+          if (row_mask != nullptr &&
+              ((*row_mask)[static_cast<std::size_t>(lv)] != 0) != masked_value)
+            continue;
           const VertexId gv = g.to_global(lv);
           const CommunityId cv = owned_community[static_cast<std::size_t>(lv)];
           const auto a_end = static_cast<std::size_t>(row[static_cast<std::size_t>(lv) + 1]);
@@ -101,12 +111,16 @@ struct PhaseResult {
   GhostCommunities ghosts;
   CommunityLedger ledger;
   Weight final_modularity{0};
+  /// Modularity of the partition the phase STARTED from: the singleton
+  /// partition normally, the adopted/seeded partition under a warm start.
+  /// The warm driver measures its outer convergence against this.
+  Weight initial_modularity{0};
 };
 
 PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
                       const DistConfig& cfg, int phase, double tau,
                       util::ThreadPool& pool, PhaseTimers& timers,
-                      PhaseTelemetry& telemetry) {
+                      PhaseTelemetry& telemetry, const WarmStart* warm = nullptr) {
   const VertexId local_n = g.local_count();
   const VertexId global_n = g.global_n();
   const Weight two_m = g.total_weight();
@@ -118,25 +132,21 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   for (VertexId lv = 0; lv < local_n; ++lv)
     state.owned_community[static_cast<std::size_t>(lv)] = g.to_global(lv);
 
-  EtState et(cfg.uses_et() ? static_cast<std::size_t>(local_n) : 0, cfg.base.et_alpha,
+  // Warm-started phases (incremental updates) drive the sweep gate through
+  // the SAME activity machinery ET uses -- reactivated vertices start at
+  // P = 1, frozen ones at P = 0 -- so the hot loop has exactly one "does
+  // this vertex participate" test. Non-ET variants run the warm phase with
+  // alpha 0 (the reactivated set never decays); ET variants keep their
+  // configured decay on top of the seeded activity.
+  EtState et(cfg.uses_et() || warm != nullptr ? static_cast<std::size_t>(local_n) : 0,
+             warm != nullptr && !cfg.uses_et() ? 0.0 : cfg.base.et_alpha,
              cfg.base.et_inactive_cutoff, cfg.base.seed);
+  if (warm != nullptr) et.seed_activity(warm->reactivated);
   std::vector<char> moved(static_cast<std::size_t>(local_n), 0);
 
   timers.clear();  // this phase's breakdown starts from zero, every phase
   util::TraceBuffer* tb = comm.trace();
   const util::TraceSpan phase_span(tb, "phase", "phase", phase);
-
-  // Phase-initial modularity: singleton partition of the current graph --
-  // by the coarsening invariance this equals the previous phase's final
-  // modularity, so the convergence checks line up across phases.
-  Weight prev_mod;
-  {
-    const Weight intra =
-        local_intra_weight(pool, g, state.owned_community, state.ghosts);
-    const Weight degree_term = state.ledger.owned_degree_term();
-    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
-    prev_mod = two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
-  }
 
   // Per-vertex move proposals for the current sweep group:
   // kInvalidCommunity = did not participate (ET-inactive), otherwise the
@@ -177,6 +187,113 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
                           (cfg.overlap == OverlapMode::kAuto && comm.size() > 1);
   const GhostExchangeConfig xcfg{cfg.use_neighbor_exchange, cfg.ghost_exchange_mode,
                                  cfg.delta_exchange_crossover, overlap_on};
+
+  // -- Warm start (incremental updates): adopt the seeded assignment -------
+  // Every vertex moves from its singleton into its seed community through
+  // the ordinary ledger protocol (apply + delta flush + refresh), serially
+  // in ascending local order so the floating-point accumulation sequence --
+  // and with it every modularity bit -- is fixed at any thread count. After
+  // the adoption the phase runs the unmodified iteration protocol; frozen
+  // vertices are simply never active.
+  //
+  // `affected` rows (vertex or some neighbour reactivated) are the only rows
+  // whose intra-community weight can change during this phase; the
+  // complement contributes a constant computed once at first use
+  // (static_intra), which turns the per-iteration O(arcs) modularity scan
+  // into O(affected arcs).
+  std::vector<char> affected;
+  Weight static_intra = 0;
+  bool static_intra_done = false;
+  Weight prev_mod;
+  if (warm != nullptr) {
+    for (VertexId lv = 0; lv < local_n; ++lv) {
+      const auto lvi = static_cast<std::size_t>(lv);
+      const VertexId gv = g.to_global(lv);
+      const CommunityId target = warm->seed_community[lvi];
+      if (target == gv) continue;
+      const std::int64_t own_slot = owned_comm_slot[lvi];
+      const std::int64_t to_slot = state.ledger.retain(target);
+      state.ledger.apply_move_slots(own_slot, to_slot, g.weighted_degree(gv));
+      state.ledger.release_slot(own_slot);
+      state.owned_community[lvi] = target;
+      owned_comm_slot[lvi] = to_slot;
+    }
+    {
+      util::ScopedAccum scope(timers.delta);
+      const util::TraceSpan span(tb, "warm_adopt", "collective", phase);
+      state.ledger.flush_deltas(comm);
+    }
+    // Publish the adopted assignment to ghost mirrors and retarget their
+    // slots -- the same absorb/retarget/refresh protocol an iteration runs,
+    // done once here so iteration 0 starts from a fully consistent view.
+    {
+      util::ScopedAccum scope(timers.ghost);
+      const util::TraceSpan span(tb, "warm_ghost", "collective", phase);
+      state.ghosts.exchange(comm, state.owned_community, xcfg);
+    }
+    {
+      util::ScopedAccum scope(timers.cinfo);
+      const util::TraceSpan span(tb, "warm_refresh", "collective", phase);
+      for (const auto& change : state.ghosts.last_changes()) {
+        state.ledger.release(change.old_value);
+        ghost_comm_slot[static_cast<std::size_t>(change.slot)] = state.ledger.retain(
+            state.ghosts.values()[static_cast<std::size_t>(change.slot)]);
+      }
+      state.ledger.refresh(comm);
+    }
+
+    // Affected-row mask: reactivated, or adjacent to a reactivated vertex
+    // (locally or across a rank boundary -- one dense flag exchange).
+    GhostField<std::int64_t> ghost_active(g, 0);
+    {
+      std::vector<std::int64_t> owned_active(static_cast<std::size_t>(local_n), 0);
+      for (VertexId lv = 0; lv < local_n; ++lv)
+        owned_active[static_cast<std::size_t>(lv)] =
+            warm->reactivated[static_cast<std::size_t>(lv)] != 0 ? 1 : 0;
+      util::ScopedAccum scope(timers.ghost);
+      ghost_active.exchange(comm, owned_active, xcfg);
+    }
+    affected.assign(static_cast<std::size_t>(local_n), 0);
+    for (VertexId lv = 0; lv < local_n; ++lv) {
+      const auto lvi = static_cast<std::size_t>(lv);
+      if (warm->reactivated[lvi] != 0) {
+        affected[lvi] = 1;
+        continue;
+      }
+      const auto a_end = static_cast<std::size_t>(row[lvi + 1]);
+      for (auto a = static_cast<std::size_t>(row[lvi]); a < a_end; ++a) {
+        const std::int64_t d = dst_slot[a];
+        const bool nbr_active =
+            d < local_n
+                ? warm->reactivated[static_cast<std::size_t>(d)] != 0
+                : ghost_active.values()[static_cast<std::size_t>(d - local_n)] != 0;
+        if (nbr_active) {
+          affected[lvi] = 1;
+          break;
+        }
+      }
+    }
+
+    // Phase-initial modularity of the SEEDED partition (not the singleton
+    // one): the warm phase's convergence checks measure gain over what the
+    // previous converged state is worth on the updated graph.
+    util::ScopedAccum scope(timers.allreduce);
+    const Weight intra =
+        local_intra_weight(pool, g, state.owned_community, state.ghosts);
+    const Weight degree_term = state.ledger.owned_degree_term();
+    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
+    prev_mod = two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
+  } else {
+    // Phase-initial modularity: singleton partition of the current graph --
+    // by the coarsening invariance this equals the previous phase's final
+    // modularity, so the convergence checks line up across phases.
+    const Weight intra =
+        local_intra_weight(pool, g, state.owned_community, state.ghosts);
+    const Weight degree_term = state.ledger.owned_degree_term();
+    const auto sums = comm.allreduce_sum_vec<Weight>({intra, degree_term});
+    prev_mod = two_m > 0 ? sums[0] / two_m - gamma * sums[1] / (two_m * two_m) : 0.0;
+  }
+  state.initial_modularity = prev_mod;
 
   // Sweep groups. Without coloring there is ONE group holding every local
   // vertex (paper Algorithm 3 as published). With cfg.use_coloring, vertices
@@ -289,7 +406,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
             const auto lvi = static_cast<std::size_t>(lv);
             const VertexId gv = g.to_global(lv);
 
-            if (cfg.uses_et() && !et.is_active(lvi, gv, phase, iter)) {
+            if (et.size() != 0 && !et.is_active(lvi, gv, phase, iter)) {
               proposed[lvi] = kInvalidCommunity;
               continue;
             }
@@ -465,7 +582,21 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     {
       util::ScopedAccum scope(timers.allreduce);
       const util::TraceSpan span(tb, "overlap_delta", "overlap", phase, iter);
-      intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
+      if (warm != nullptr) {
+        // Only affected rows can have changed; the frozen remainder is a
+        // constant, computed once against the post-adoption state (valid at
+        // any iteration: neither those rows' communities nor any of their
+        // neighbours' ever change within the warm phase).
+        if (!static_intra_done) {
+          static_intra = local_intra_weight(pool, g, state.owned_community,
+                                            state.ghosts, &affected, false);
+          static_intra_done = true;
+        }
+        intra = static_intra + local_intra_weight(pool, g, state.owned_community,
+                                                  state.ghosts, &affected, true);
+      } else {
+        intra = local_intra_weight(pool, g, state.owned_community, state.ghosts);
+      }
     }
     {
       util::ScopedAccum scope(timers.delta);
@@ -494,8 +625,9 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 
     // ET probability updates (Eq. 3) happen after the iteration's outcome is
     // known, for every vertex -- participation does not matter, staying put
-    // does.
-    if (cfg.uses_et()) {
+    // does. (With warm alpha 0 this is a no-op for the frozen set and keeps
+    // the reactivated set at P = 1.)
+    if (et.size() != 0) {
       for (VertexId lv = 0; lv < local_n; ++lv)
         et.update(static_cast<std::size_t>(lv), moved[static_cast<std::size_t>(lv)] != 0);
     }
@@ -509,7 +641,12 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // oscillators would never reach 90% inactivity and spin to the iteration
     // cap.) A globally quiescent iteration always ends the phase.
     bool exit_phase = global_moved == 0 || curr_mod - prev_mod <= tau;
-    if (cfg.variant == Variant::kEtc) {
+    // The ETC inactive-fraction vote is skipped for a warm phase: the frozen
+    // set is inactive by construction, so the vote would fire on iteration 0
+    // regardless of whether the reactivated region has settled. The skip is
+    // keyed on `warm`, identical on every rank, so the collectives stay
+    // aligned.
+    if (cfg.variant == Variant::kEtc && warm == nullptr) {
       util::ScopedAccum scope(timers.allreduce);
       const util::TraceSpan span(tb, "allreduce", "collective", phase, iter);
       const auto global_inactive = comm.allreduce_sum<std::int64_t>(et.inactive_count());
@@ -560,7 +697,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 }  // namespace
 
 DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConfig& cfg,
-                        std::atomic<int>* phase_progress) {
+                        std::atomic<int>* phase_progress, const WarmStart* warm) {
   util::WallTimer total_timer;
   // This rank's counter block and its entry snapshot: everything this run
   // reports is a delta against the snapshot, so back-to-back runs on one
@@ -573,6 +710,12 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   // The rank's compute pool, shared by every phase's move scan, modularity
   // reduction, and rebuild (the per-rank half of the MPI+OpenMP hybrid).
   util::ThreadPool pool(cfg.threads_per_rank);
+
+  if (warm != nullptr &&
+      (warm->seed_community.size() != static_cast<std::size_t>(graph.local_count()) ||
+       warm->reactivated.size() != warm->seed_community.size()))
+    throw std::invalid_argument(
+        "dist_louvain: WarmStart arrays must cover the rank's owned vertices");
 
   DistResult result;
 
@@ -635,6 +778,12 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
 
   const double tau_min = cfg.min_threshold();
 
+  // Set when a warm-start run exits via the renumber-only rebuild (no
+  // coarse graph to recompute the final modularity from).
+  bool warm_exit = false;
+  Weight warm_exit_modularity = 0;
+  VertexId warm_exit_communities = 0;
+
   // Breakdown timers live OUTSIDE the phase loop (one allocation, reused)
   // but are cleared by run_phase at every phase start -- see PhaseTimers.
   PhaseTimers timers;
@@ -678,14 +827,40 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
 
     util::WallTimer phase_timer;
     PhaseTelemetry telemetry;
-    auto phase_state = run_phase(comm, graph, cfg, phase, tau, pool, timers, telemetry);
+    // The warm seed applies to the FINE graph only: phase 0 of a fresh run.
+    // A checkpoint resume supplies its own (coarsened) state instead, and
+    // every later phase runs on a graph the seed's indices no longer match.
+    const WarmStart* phase_warm = (phase == 0 && !resumed) ? warm : nullptr;
+    auto phase_state =
+        run_phase(comm, graph, cfg, phase, tau, pool, timers, telemetry, phase_warm);
+
+    // The exit decision depends only on collectively-identical modularities,
+    // so it can be taken BEFORE the rebuild: a warm-start run that is about
+    // to exit skips the coarse-graph construction entirely (renumber only)
+    // -- the coarse graph of the exit phase is used for nothing but the
+    // final singleton-modularity recomputation, and run_phase already
+    // reports that phase's exact final modularity. Cold runs keep the full
+    // rebuild so their output stays bitwise identical to the pre-Session
+    // driver.
+    // A warm phase 0 measures its gain over the SEEDED partition's
+    // modularity on the updated graph, not over the singleton baseline --
+    // a small batch that locally re-converged exits right here, and only
+    // a batch that genuinely moved modularity escalates into coarsening.
+    const Weight base_mod =
+        phase_warm != nullptr ? phase_state.initial_modularity : prev_outer_mod;
+    const Weight gain = phase_state.final_modularity - base_mod;
+    const double tau_exit =
+        phase_warm != nullptr ? std::max(tau, phase_warm->exit_threshold) : tau;
+    const bool exits_now =
+        gain <= tau_exit && !(cfg.uses_cycling() && tau > tau_min && !forced_final);
+    const bool renumber_only = warm != nullptr && exits_now;
 
     // Graph reconstruction + assignment-chain update. Always performed so
     // the final phase's moves are reflected in the output mapping.
     util::WallTimer rebuild_timer;
     const util::TraceSpan rebuild_span(tb, "rebuild", "collective", phase);
     auto next = rebuild(comm, graph, phase_state.owned_community, phase_state.ghosts,
-                        phase_state.ledger, &pool);
+                        phase_state.ledger, &pool, /*build_graph=*/!renumber_only);
 
     // Route each original vertex's current id to the rank owning it in the
     // CURRENT partition; owners answer with the collapsed meta-vertex id.
@@ -727,8 +902,16 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     ++result.phases;
     result.total_iterations += telemetry.iterations;
 
-    const Weight gain = phase_state.final_modularity - prev_outer_mod;
     prev_outer_mod = std::max(prev_outer_mod, phase_state.final_modularity);
+    if (renumber_only) {
+      // Warm exit without a coarse graph: the phase's exact final
+      // modularity and the renumbering's community count stand in for the
+      // final-graph recomputation below.
+      warm_exit_modularity = phase_state.final_modularity;
+      warm_exit_communities = next.new_global_n;
+      warm_exit = true;
+      break;
+    }
     graph = std::move(next.graph);
 
     if (gain <= tau) {
@@ -743,8 +926,12 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     forced_final = false;
   }
 
-  // Final exact modularity: singleton partition of the final coarse graph.
-  {
+  // Final exact modularity: singleton partition of the final coarse graph
+  // -- except after a warm renumber-only exit, where the coarse graph was
+  // never built and the last phase's exact modularity is the same quantity.
+  if (warm_exit) {
+    result.modularity = warm_exit_modularity;
+  } else {
     Weight intra = 0;
     Weight degree_term = 0;
     for (VertexId lv = 0; lv < graph.local_count(); ++lv) {
@@ -765,7 +952,7 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   // concatenate in rank order to the full array.
   result.community = comm.allgatherv<CommunityId>(
       std::vector<CommunityId>(orig_to_cur.begin(), orig_to_cur.end()));
-  result.num_communities = graph.global_n();
+  result.num_communities = warm_exit ? warm_exit_communities : graph.global_n();
   result.seconds = result.restored.seconds + total_timer.seconds();
 
   // Global executed-portion counter totals, identical on every rank: sum the

@@ -59,6 +59,15 @@ void append_breakdown_json(std::string& out, const TimeBreakdown& b) {
          ",\"comm_hidden\":" + json_number(b.comm_hidden) + '}';
 }
 
+void append_updates_json(std::string& out, const UpdateTelemetry& u) {
+  out += "{\"batches_applied\":" + std::to_string(u.batches_applied) +
+         ",\"edges_added\":" + std::to_string(u.edges_added) +
+         ",\"edges_removed\":" + std::to_string(u.edges_removed) +
+         ",\"vertices_reactivated\":" + std::to_string(u.vertices_reactivated) +
+         ",\"reconverge_iterations\":" + std::to_string(u.reconverge_iterations) +
+         ",\"fallback_to_full\":" + std::to_string(u.fallback_to_full) + '}';
+}
+
 std::string dist_result_to_json(const DistResult& r) {
   std::string out;
   out.reserve(1024 + 512 * r.phase_telemetry.size());

@@ -8,7 +8,10 @@
 // built from these helpers.
 //
 // Manifest schema (stable, versioned): see docs/OBSERVABILITY.md. The
-// top-level "schema" key is "dlouvain-run-manifest/1".
+// top-level "schema" key is "dlouvain-run-manifest/2"; v2 adds the always-
+// present "updates" section (streaming-session telemetry). v1 documents
+// remain valid inputs for the tooling (tools/check_bench_regression.py,
+// tools/validate_trace.py accept both).
 #pragma once
 
 #include <string>
@@ -19,7 +22,7 @@
 
 namespace dlouvain::core {
 
-inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/1";
+inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/2";
 
 /// JSON string escaping (quotes, backslash, control characters).
 std::string json_escape(std::string_view s);
@@ -35,6 +38,10 @@ void append_counters_json(std::string& out, const util::MetricsSnapshot& counter
 
 /// Appends a TimeBreakdown object (the Section V-A buckets).
 void append_breakdown_json(std::string& out, const TimeBreakdown& b);
+
+/// Appends the manifest-v2 "updates" object (streaming-session telemetry;
+/// all zeros for a one-shot run).
+void append_updates_json(std::string& out, const UpdateTelemetry& u);
 
 /// Full manifest for one distributed run: scalars, restored counters,
 /// counter catalog, breakdown, per-phase detail. Identical on every rank

@@ -19,7 +19,7 @@ struct ResolveRecord {
 RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
                       std::span<const CommunityId> owned_community,
                       const GhostCommunities& ghosts, const CommunityLedger& ledger,
-                      util::ThreadPool* pool) {
+                      util::ThreadPool* pool, bool build_graph) {
   const int p = comm.size();
 
   // Steps 1-2: surviving local communities, renumbered 0..n_i-1 in ascending
@@ -74,6 +74,14 @@ RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
     return it->second;
   };
 
+  RebuildOutput out;
+  out.new_global_n = new_global_n;
+  out.new_vertex_of_current.resize(static_cast<std::size_t>(g.local_count()));
+  for (VertexId lv = 0; lv < g.local_count(); ++lv)
+    out.new_vertex_of_current[static_cast<std::size_t>(lv)] =
+        resolve_or_throw(owned_community[static_cast<std::size_t>(lv)]);
+  if (!build_graph) return out;
+
   // Step 5: partial new edge lists. Weight conventions (see louvain/coarsen
   // for the serial twin): an intra-community arc between DISTINCT vertices
   // is emitted at half weight toward the meta self loop -- both directions
@@ -114,16 +122,9 @@ RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
   // and rebuild CSR + ghost structure (DistGraph::build routes by arc source
   // and coalesces duplicates; both arc directions were emitted by their
   // respective owners, so no symmetrization).
-  RebuildOutput out;
-  out.new_global_n = new_global_n;
   auto part = graph::partition_even_vertices(new_global_n, p);
   out.graph = graph::DistGraph::build(comm, part, std::move(arcs), /*symmetrize=*/false,
                                       pool);
-
-  out.new_vertex_of_current.resize(static_cast<std::size_t>(g.local_count()));
-  for (VertexId lv = 0; lv < g.local_count(); ++lv)
-    out.new_vertex_of_current[static_cast<std::size_t>(lv)] =
-        resolve_or_throw(owned_community[static_cast<std::size_t>(lv)]);
   return out;
 }
 

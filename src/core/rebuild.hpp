@@ -36,9 +36,16 @@ struct RebuildOutput {
 /// precomputed CSR offsets and the sort is deterministic-stable (see
 /// util/parallel.hpp), so the rebuilt graph is identical at any thread
 /// count.
+///
+/// `build_graph = false` runs only the renumbering (steps 1-4 + the
+/// current->meta mapping), leaving `graph` default-constructed -- the two
+/// O(arcs) passes and the coarse DistGraph::build collective are skipped.
+/// Used by the warm-start driver on its exit phase, where the coarse graph
+/// would be built only to be thrown away (docs/STREAMING.md); the flag must
+/// be collectively identical, since it changes which collectives run.
 RebuildOutput rebuild(comm::Comm& comm, const graph::DistGraph& g,
                       std::span<const CommunityId> owned_community,
                       const GhostCommunities& ghosts, const CommunityLedger& ledger,
-                      util::ThreadPool* pool = nullptr);
+                      util::ThreadPool* pool = nullptr, bool build_graph = true);
 
 }  // namespace dlouvain::core

@@ -79,6 +79,22 @@ struct PhaseTelemetry {
   std::vector<IterationTelemetry> iteration_detail;
 };
 
+/// Cumulative streaming-update telemetry of one Session (the manifest v2
+/// "updates" section; docs/STREAMING.md). All zero for a one-shot run --
+/// the section is always emitted so v2 consumers never branch on presence.
+struct UpdateTelemetry {
+  std::int64_t batches_applied{0};
+  std::int64_t edges_added{0};
+  std::int64_t edges_removed{0};
+  /// Vertices the warm starts reactivated, summed over batches (global).
+  std::int64_t vertices_reactivated{0};
+  /// Iterations the warm phase-0 re-convergences ran, summed over batches.
+  std::int64_t reconverge_iterations{0};
+  /// Batches whose warm result drifted past the fallback threshold and were
+  /// recomputed from scratch.
+  std::int64_t fallback_to_full{0};
+};
+
 /// Result of a distributed Louvain run. Collective-produced: identical on
 /// every rank.
 struct DistResult {

@@ -1,28 +1,21 @@
 #include "dlouvain.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <fstream>
-#include <functional>
-#include <memory>
-#include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "core/checkpoint.hpp"
 #include "core/metrics.hpp"
-#include "louvain/serial.hpp"
-#include "louvain/shared.hpp"
-#include "util/trace.hpp"
 
 namespace dlouvain {
 
 namespace {
 
-void write_text_file(const std::string& path, const std::string& what,
-                     const std::function<void(std::ofstream&)>& emit) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open " + what + " output " + path);
-  emit(out);
-  if (!out) throw std::runtime_error("failed writing " + what + " output " + path);
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kSerial: return "serial";
+    case Engine::kShared: return "shared";
+    case Engine::kDistributed: return "distributed";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -52,155 +45,79 @@ core::DistConfig Plan::dist_config() const {
   cfg.delta_exchange_crossover = exchange_crossover_;
   cfg.overlap = overlap_;
   cfg.threads_per_rank = threads_;
-  cfg.checkpoint.dir = checkpoint_dir_;
+  // Effective checkpoint directory: checkpointing() wins when both are set
+  // (validate() rejects two DIFFERENT directories); resume() alone keeps
+  // checkpointing into the directory it resumes from.
+  cfg.checkpoint.dir = !checkpoint_dir_.empty() ? checkpoint_dir_ : resume_dir_;
   cfg.checkpoint.every = checkpoint_every_;
   cfg.checkpoint.resume = resume_;
   return cfg;
 }
 
+void Plan::validate() const {
+  const auto fail = [](std::string msg) { throw PlanError(std::move(msg)); };
+
+  // -- engine-independent ranges ------------------------------------------
+  if (threshold_ < 0) fail("threshold() must be >= 0");
+  if (resolution_ <= 0) fail("resolution() must be > 0");
+  if (max_phases_ < 1) fail("max_phases() must be >= 1");
+  if (max_iterations_ < 1) fail("max_iterations() must be >= 1");
+  if (update_fallback_ < 0) fail("update_fallback() must be >= 0");
+  if ((variant_ == Variant::kEt || variant_ == Variant::kEtc) &&
+      (alpha_ <= 0 || alpha_ > 1)) {
+    fail("alpha() must be in (0, 1] for the ET/ETC variants");
+  }
+  if (!checkpoint_dir_.empty() && checkpoint_every_ < 1)
+    fail("checkpointing() interval must be >= 1");
+  if (resume_ && resume_dir_.empty())
+    fail("resume() needs a checkpoint directory");
+  if (resume_ && !checkpoint_dir_.empty() && resume_dir_ != checkpoint_dir_) {
+    fail("checkpointing(\"" + checkpoint_dir_ + "\") and resume(\"" + resume_dir_ +
+         "\") name different directories; use one directory (or drop one call)");
+  }
+
+  // -- engine/knob compatibility ------------------------------------------
+  if (engine_ == Engine::kDistributed) {
+    if (ranks_ < 1) fail("distributed() needs at least 1 rank");
+    if (vertex_following_) {
+      fail("vertex_following() is a serial/shared-only preprocessing; the "
+           "distributed engine does not support it");
+    }
+    return;
+  }
+  const auto dist_only = [&](const char* what) {
+    fail(std::string(what) + " needs the distributed engine (this plan is " +
+         engine_name(engine_) + ")");
+  };
+  if (coloring_) dist_only("coloring()");
+  if (cycling_) dist_only("threshold_cycling()");
+  if (!checkpoint_dir_.empty()) dist_only("checkpointing()");
+  if (resume_) dist_only("resume()");
+  if (faults_) dist_only("inject_faults()");
+  if (comm_timeout_ > 0) dist_only("comm_timeout()");
+  if (max_restarts_ > 0) dist_only("max_restarts()");
+  if (exchange_mode_ != GhostExchangeMode::kAuto) dist_only("exchange()");
+  if (overlap_ != OverlapMode::kAuto) dist_only("overlap()");
+  if (partition_ != graph::PartitionKind::kEvenEdges) dist_only("partition()");
+}
+
 Result Plan::run(const graph::Csr& g) const {
-  Result out;
-  out.engine = engine_;
-  switch (engine_) {
-    case Engine::kSerial: {
-      auto r = louvain::louvain_serial(g, base_config());
-      out.community = r.community;
-      out.modularity = r.modularity;
-      out.num_communities = r.num_communities;
-      out.phases = r.phases;
-      out.total_iterations = r.total_iterations;
-      out.seconds = r.seconds;
-      out.local = std::move(r);
-      break;
-    }
-    case Engine::kShared: {
-      auto r = louvain::louvain_shared(g, base_config(), threads_);
-      out.community = r.community;
-      out.modularity = r.modularity;
-      out.num_communities = r.num_communities;
-      out.phases = r.phases;
-      out.total_iterations = r.total_iterations;
-      out.seconds = r.seconds;
-      out.local = std::move(r);
-      break;
-    }
-    case Engine::kDistributed: {
-      auto cfg = dist_config();
+  Session session = open(g);
+  return std::move(session.result_);
+}
 
-      comm::RunOptions options;
-      options.timeout_seconds = comm_timeout_;
-      // One injector for all attempts: crash triggers are one-shot, so a
-      // restarted run proceeds past the failure it is recovering from.
-      if (faults_) options.faults = std::make_shared<comm::FaultInjector>(*faults_);
-      // One trace store for all attempts: failed-attempt spans stay in the
-      // rings and flush alongside the successful run's -- exactly what you
-      // want when debugging why an attempt died.
-      if (!trace_path_.empty())
-        options.trace = std::make_shared<util::TraceStore>(ranks_);
-
-      // What the newest on-disk checkpoint has banked so far (zero without
-      // checkpointing). Per-attempt deltas of this split a failed attempt's
-      // traffic into salvaged (resumable) and wasted.
-      core::RunCounters banked;
-      if (!cfg.checkpoint.dir.empty()) {
-        banked = core::checkpoint_latest_counters(cfg.checkpoint.dir)
-                     .value_or(core::RunCounters{});
-      }
-
-      // Recovery driver: on any detectable communication failure, restart --
-      // from the newest checkpoint when checkpointing is on, from scratch
-      // otherwise -- up to max_restarts_ extra attempts.
-      std::atomic<int> progress{-1};
-      for (int attempt = 0;; ++attempt) {
-        progress.store(-1, std::memory_order_relaxed);
-        // A FRESH registry per attempt: a discarded attempt's traffic is
-        // accounted to recovery.wasted_*, never carried into the next
-        // attempt's counters (the satellite-1 fix).
-        options.metrics = std::make_shared<util::MetricsRegistry>(ranks_);
-        try {
-          auto r = core::dist_louvain_inprocess(ranks_, g, cfg, partition_, options,
-                                                &progress);
-          out.recovery.attempts = attempt + 1;
-          out.recovery.resumed_from_phase = r.resumed_from_phase;
-          out.community = r.community;
-          out.modularity = r.modularity;
-          out.num_communities = r.num_communities;
-          out.phases = r.phases;
-          out.total_iterations = r.total_iterations;
-          out.seconds = r.seconds;
-          out.distributed = std::move(r);
-          break;
-        } catch (const comm::CommFailure&) {
-          if (attempt >= max_restarts_) throw;
-          const int next_resume =
-              cfg.checkpoint.dir.empty()
-                  ? 0
-                  : core::checkpoint_latest_phase(cfg.checkpoint.dir).value_or(0);
-          // Phases [next_resume, progress] ran this attempt and will run
-          // again on the next one.
-          out.recovery.phases_replayed +=
-              std::max(0, progress.load(std::memory_order_relaxed) + 1 - next_resume);
-
-          // Wasted = everything this attempt sent (algorithm + checkpoint
-          // I/O) minus what it banked into a checkpoint -- the banked part
-          // re-enters the final result through its restored counters.
-          const util::MetricsSnapshot spent = options.metrics->total();
-          core::RunCounters now;
-          if (!cfg.checkpoint.dir.empty()) {
-            now = core::checkpoint_latest_counters(cfg.checkpoint.dir)
-                      .value_or(core::RunCounters{});
-          }
-          const std::int64_t banked_messages =
-              std::max<std::int64_t>(0, now.messages - banked.messages);
-          const std::int64_t banked_bytes =
-              std::max<std::int64_t>(0, now.bytes - banked.bytes);
-          out.recovery.wasted_messages += std::max<std::int64_t>(
-              0, spent[util::Counter::kMessages] +
-                     spent[util::Counter::kCheckpointMessages] - banked_messages);
-          out.recovery.wasted_bytes += std::max<std::int64_t>(
-              0, spent[util::Counter::kBytes] +
-                     spent[util::Counter::kCheckpointBytes] - banked_bytes);
-          banked = now;
-
-          cfg.checkpoint.resume = !cfg.checkpoint.dir.empty();
-        }
-      }
-
-      if (options.faults) {
-        out.recovery.injected_delays = options.faults->delayed.load();
-        out.recovery.injected_duplicates = options.faults->duplicated.load();
-        out.recovery.injected_corruptions = options.faults->corrupted.load();
-        out.recovery.injected_crashes = options.faults->crashes_fired.load();
-      }
-
-      if (options.trace) {
-        write_text_file(trace_path_, "trace", [&](std::ofstream& f) {
-          options.trace->write_chrome_trace(f);
-        });
-      }
-      break;
-    }
-  }
-
-  // Serial/shared runs still honour --trace-out: an empty-but-valid trace
-  // (process metadata only) beats a confusing missing file.
-  if (engine_ != Engine::kDistributed && !trace_path_.empty()) {
-    const util::TraceStore empty(1);
-    write_text_file(trace_path_, "trace",
-                    [&](std::ofstream& f) { empty.write_chrome_trace(f); });
-  }
-  if (!metrics_path_.empty()) {
-    write_text_file(metrics_path_, "metrics",
-                    [&](std::ofstream& f) { f << out.to_json() << '\n'; });
-  }
-  return out;
+Session Plan::open(const graph::Csr& g) const {
+  validate();
+  Session session(*this);
+  session.run_initial(g);
+  return session;
 }
 
 std::string Result::to_json() const {
   std::string out;
   if (engine == Engine::kDistributed && distributed) {
     out = core::dist_result_to_json(*distributed);
-    out.pop_back();  // reopen the object to append the driver-level section
+    out.pop_back();  // reopen the object to append the driver-level sections
   } else {
     out = "{\"schema\":\"";
     out += core::kManifestSchema;
@@ -213,6 +130,8 @@ std::string Result::to_json() const {
     out += ",\"total_iterations\":" + std::to_string(total_iterations);
     out += ",\"seconds\":" + core::json_number(seconds);
   }
+  out += ",\"updates\":";
+  core::append_updates_json(out, updates);
   out += ",\"recovery\":{\"attempts\":" + std::to_string(recovery.attempts);
   out += ",\"phases_replayed\":" + std::to_string(recovery.phases_replayed);
   out += ",\"resumed_from_phase\":" + std::to_string(recovery.resumed_from_phase);

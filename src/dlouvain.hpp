@@ -16,21 +16,45 @@
 //                     .run(graph);
 //   std::cout << result.modularity << '\n';
 //
+// For streaming graphs, `open()` returns a re-entrant Session that retains
+// the converged state and re-clusters incrementally as edges arrive
+// (docs/STREAMING.md): batch-touched vertices and their neighbourhoods are
+// reactivated and re-converged warm, everything else stays frozen, and a
+// configurable modularity-drift threshold triggers a full recompute.
+// `run(g)` is exactly `open(g)` + take the result:
+//
+//   auto session = dlouvain::Plan::distributed(8).open(graph);
+//   auto stats = session.update(dlouvain::EdgeBatch()
+//                                   .add(17, 4242, 1.0)
+//                                   .remove(9, 13));
+//   std::cout << session.result().modularity << '\n';
+//
+// Plans are validated before anything runs: run()/open() first call
+// validate(), which throws a single PlanError naming the offending setting
+// (e.g. coloring() on the serial engine, or checkpointing() and resume()
+// pointed at different directories).
+//
 // The per-engine headers (louvain/serial.hpp, louvain/shared.hpp,
 // core/dist_louvain.hpp) stay public and unchanged for callers that want
 // the raw configs or the collective, real-Comm entry points; Plan is sugar
-// over them, not a replacement. Engine-specific details (per-phase
+// over them, not a replacement. base_config()/dist_config() are the single
+// materialization point: run()/open() execute exactly the config those
+// return, so dropping down to the raw engines with them reproduces a
+// Plan-driven run bit for bit. Engine-specific details (per-phase
 // telemetry, traffic counters) remain available on Result::distributed /
 // Result::local.
 //
 // Every engine honours the determinism contract: for a fixed Plan (minus
 // `threads`), the assignment and every modularity bit are identical at any
 // thread count. The distributed engine's results also depend on `ranks` --
-// but not on how its per-rank work is threaded.
+// but not on how its per-rank work is threaded. A Session extends the
+// contract to streams: a fixed (Plan, batch sequence) yields bitwise-
+// identical assignments at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +67,57 @@
 #include "util/types.hpp"
 
 namespace dlouvain {
+
+/// A Plan that cannot run: conflicting or out-of-range settings, reported
+/// by Plan::validate() (called by run()/open() before anything executes).
+/// One error, one clear message naming the offending setting -- the CLI
+/// surfaces it verbatim as its one-line failure.
+class PlanError : public std::invalid_argument {
+ public:
+  explicit PlanError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// A batch of undirected edge mutations for Session::update. Fluent like
+/// Plan; order matters only between a remove and an add of the SAME edge
+/// (removals resolve against the pre-batch graph, additions apply after).
+class EdgeBatch {
+ public:
+  /// Add weight `w` (> 0) to edge {u, v}, creating it if absent.
+  EdgeBatch& add(VertexId u, VertexId v, Weight w = 1.0) {
+    changes_.push_back(graph::EdgeChange{u, v, w, false});
+    return *this;
+  }
+  /// Remove edge {u, v} entirely (it must exist in the pre-batch graph).
+  EdgeBatch& remove(VertexId u, VertexId v) {
+    changes_.push_back(graph::EdgeChange{u, v, 0.0, true});
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return changes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return changes_.empty(); }
+  [[nodiscard]] const std::vector<graph::EdgeChange>& changes() const noexcept {
+    return changes_;
+  }
+
+ private:
+  std::vector<graph::EdgeChange> changes_;
+};
+
+/// What one Session::update did (per-batch view; Result::updates carries the
+/// cumulative totals the manifest reports).
+struct UpdateStats {
+  std::int64_t edges_added{0};
+  std::int64_t edges_removed{0};
+  /// Vertices the warm start reactivated (global; 0 for an empty batch and
+  /// for serial/shared sessions, which recompute in full).
+  std::int64_t vertices_reactivated{0};
+  /// Iterations the warm phase-0 re-convergence ran.
+  std::int64_t reconverge_iterations{0};
+  /// True when the warm result drifted past Plan::update_fallback and the
+  /// batch was recomputed from scratch (always true for serial/shared).
+  bool fell_back_to_full{false};
+  double seconds{0};
+};
 
 /// Heuristic variants (paper Section V legend), re-exported so Plan users
 /// never open the core namespace.
@@ -105,12 +180,18 @@ struct Result {
   };
   Recovery recovery;
 
-  /// Machine-readable run manifest (schema "dlouvain-run-manifest/1"; see
+  /// Cumulative streaming-update telemetry (all zero for a one-shot run;
+  /// maintained by Session::update). The manifest's v2 "updates" section.
+  core::UpdateTelemetry updates;
+
+  /// Machine-readable run manifest (schema "dlouvain-run-manifest/2"; see
   /// docs/OBSERVABILITY.md). Valid JSON for every engine; the distributed
   /// engine adds counters, breakdown and per-phase detail. Same content
   /// `Plan::metrics(path)` writes to disk.
   [[nodiscard]] std::string to_json() const;
 };
+
+class Session;
 
 /// Fluent description of one community-detection run. Start from a named
 /// engine constructor, chain setters, end with run(); plans are plain values
@@ -186,9 +267,11 @@ class Plan {
     return *this;
   }
   /// Resume from the newest valid checkpoint in `dir` (and keep
-  /// checkpointing there).
+  /// checkpointing there, unless checkpointing() names its own directory --
+  /// naming two DIFFERENT directories is a validate() error; the old
+  /// behaviour silently overwrote whichever was set last).
   Plan& resume(std::string dir) {
-    checkpoint_dir_ = std::move(dir);
+    resume_dir_ = std::move(dir);
     resume_ = true;
     return *this;
   }
@@ -203,6 +286,13 @@ class Plan {
   /// checkpointing is on, from scratch otherwise. 0 = fail fast.
   Plan& max_restarts(int n) { max_restarts_ = n; return *this; }
 
+  // -- streaming updates (see docs/STREAMING.md) --------------------------
+  /// Fallback threshold for Session::update: when a warm re-convergence
+  /// lands more than `drift` BELOW the session's previous modularity, the
+  /// batch is recomputed from scratch instead (the frozen skeleton no
+  /// longer fits the graph). 0 falls back on any drop; must be >= 0.
+  Plan& update_fallback(double drift) { update_fallback_ = drift; return *this; }
+
   // -- observability (see docs/OBSERVABILITY.md) --------------------------
   /// Write a merged Chrome trace_event JSON file (one pid per simulated
   /// rank) to `path` after the run. Spans are ring-buffered per rank and
@@ -216,15 +306,32 @@ class Plan {
   [[nodiscard]] int num_ranks() const { return ranks_; }
   [[nodiscard]] int num_threads() const { return threads_; }
   /// The LouvainConfig this plan describes (serial/shared engines; also the
-  /// `base` of dist_config()).
+  /// `base` of dist_config()). THE materialization point: run()/open()'s
+  /// serial/shared branches execute exactly this config.
   [[nodiscard]] louvain::LouvainConfig base_config() const;
-  /// The DistConfig this plan describes (distributed engine).
+  /// The DistConfig this plan describes. THE materialization point: the
+  /// distributed engine executes exactly this config, so
+  /// core::dist_louvain_inprocess(num_ranks(), g, plan.dist_config(), ...)
+  /// reproduces plan.run(g) bit for bit (test_incremental pins this).
   [[nodiscard]] core::DistConfig dist_config() const;
 
+  /// Check the plan for conflicting or out-of-range settings; throws one
+  /// PlanError naming the first offender. Called by run()/open() before
+  /// anything executes; public so callers can fail fast at build time.
+  void validate() const;
+
   /// Execute the plan on `g` (an undirected graph as a symmetric CSR).
+  /// Exactly open(g) + take the result.
   [[nodiscard]] Result run(const graph::Csr& g) const;
 
+  /// Execute the plan on `g` and keep the converged state resident for
+  /// incremental re-clustering: the returned Session owns the partitioned
+  /// graph, the converged assignment and the update telemetry, and its
+  /// update(EdgeBatch) re-converges warm (docs/STREAMING.md).
+  [[nodiscard]] Session open(const graph::Csr& g) const;
+
  private:
+  friend class Session;
   explicit Plan(Engine engine) : engine_(engine) {}
 
   Engine engine_;
@@ -247,12 +354,76 @@ class Plan {
   OverlapMode overlap_{OverlapMode::kAuto};
   std::string checkpoint_dir_;
   int checkpoint_every_{1};
+  std::string resume_dir_;
   bool resume_{false};
+  double update_fallback_{0.02};
   double comm_timeout_{0};
   std::optional<comm::FaultPlan> faults_;
   int max_restarts_{0};
   std::string trace_path_;
   std::string metrics_path_;
+};
+
+/// A resident clustering over one evolving graph: Plan::open(g) converges
+/// from scratch and keeps the per-rank partitioned graphs and the converged
+/// assignment in memory; each update(batch) mutates the graph in place and
+/// re-converges warm -- only batch-touched vertices and their
+/// neighbourhoods move, the rest of the assignment is frozen -- falling
+/// back to a full recompute when modularity drifts past
+/// Plan::update_fallback. result() always reflects the CURRENT graph and
+/// has the exact shape Plan::run returns (manifest included).
+///
+/// Determinism: a fixed (Plan, batch sequence) yields bitwise-identical
+/// assignments and modularity at any thread count. Move-only (owns the
+/// partitioned graph state). Serial/shared sessions are supported but not
+/// incremental: every update recomputes in full (and says so in its stats).
+class Session {
+ public:
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The clustering of the graph as currently updated. Same shape and
+  /// manifest as Plan::run's result; Result::updates carries the session's
+  /// cumulative update telemetry.
+  [[nodiscard]] const Result& result() const noexcept { return result_; }
+
+  /// Apply `batch` to the graph and re-cluster. Collective over the same
+  /// in-process ranks as the initial run; throws std::invalid_argument on a
+  /// malformed batch (out-of-range endpoint, self loop, removal of an
+  /// absent edge) WITHOUT modifying the session. An empty batch is a no-op.
+  UpdateStats update(const EdgeBatch& batch);
+
+  /// Number of update() calls that mutated the graph.
+  [[nodiscard]] int updates_applied() const noexcept {
+    return static_cast<int>(result_.updates.batches_applied);
+  }
+
+  /// The plan this session runs under (immutable once opened).
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+
+ private:
+  friend class Plan;
+  explicit Session(const Plan& plan) : plan_(plan) {}
+
+  void run_initial(const graph::Csr& g);
+  UpdateStats update_distributed(const EdgeBatch& batch);
+  UpdateStats update_local(const EdgeBatch& batch);
+  void write_artifacts() const;
+
+  Plan plan_;
+  Result result_;
+  /// Distributed engine: each rank's slice of the CURRENT fine graph,
+  /// mutated in place by update(); index = rank.
+  std::vector<graph::DistGraph> rank_graphs_;
+  /// Serial/shared engines: the current graph, rebuilt per update.
+  graph::Csr csr_;
+  /// Session-lifetime run options: the fault injector (crash triggers stay
+  /// one-shot across the whole stream) and the trace store (update spans
+  /// flush alongside the initial run's) persist; the metrics registry is
+  /// replaced per attempt so discarded traffic stays attributable.
+  comm::RunOptions options_;
 };
 
 }  // namespace dlouvain

@@ -1,7 +1,9 @@
 #include "graph/dist_graph.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "util/parallel.hpp"
 
@@ -125,6 +127,143 @@ DistGraph DistGraph::from_replicated(comm::Comm& comm, const Csr& global,
     for (const auto& e : global.neighbors(v)) arcs.push_back(Edge{v, e.dst, e.weight});
   }
   return build(comm, part, std::move(arcs), /*symmetrize=*/false);
+}
+
+void DistGraph::apply_edge_changes(comm::Comm& comm,
+                                   std::span<const EdgeChange> changes,
+                                   util::ThreadPool* pool) {
+  const VertexId n = part_.num_vertices();
+
+  // Validate the batch shape locally; the list is replicated, so every rank
+  // reaches the same verdict without a collective.
+  for (const EdgeChange& c : changes) {
+    if (c.u < 0 || c.u >= n || c.v < 0 || c.v >= n)
+      throw std::invalid_argument("apply_edge_changes: endpoint out of range");
+    if (c.u == c.v)
+      throw std::invalid_argument("apply_edge_changes: self loops not supported");
+    if (!c.remove && !(c.weight > 0))
+      throw std::invalid_argument("apply_edge_changes: added weight must be > 0");
+  }
+
+  // A batch of k edges must not cost a full rebuild of |arcs| -- shipping
+  // and re-sorting every arc through build() dominates Session::update on
+  // any real graph. Instead, splice only the touched CSR rows in place.
+  // Rows are coalesced and dst-sorted by construction (build() stable-sorts
+  // then coalesces; this function preserves both invariants), so each
+  // touched row is a small sorted merge.
+  //
+  // Removals resolve against the pre-batch arc set, directions owned here.
+  // Because rows are coalesced, each (src, dst) appears at most once: a
+  // batch naming the same edge twice can match at most one arc, and the
+  // excess is a batch error -- detected locally, agreed globally so every
+  // rank throws (or none does), before anything is mutated.
+  std::map<VertexId, std::vector<std::pair<VertexId, Weight>>> row_adds;
+  std::map<VertexId, std::vector<VertexId>> row_removes;
+  std::int64_t missing = 0;
+  {
+    std::map<std::pair<VertexId, VertexId>, std::int64_t> remove_counts;
+    for (const EdgeChange& c : changes) {
+      if (!c.remove) continue;
+      if (owns(c.u)) ++remove_counts[{to_local(c.u), c.v}];
+      if (owns(c.v)) ++remove_counts[{to_local(c.v), c.u}];
+    }
+    for (const auto& [arc, count] : remove_counts) {
+      const auto row = local_.neighbors(arc.first);
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), arc.second,
+          [](const HalfEdge& e, VertexId dst) { return e.dst < dst; });
+      const bool present = it != row.end() && it->dst == arc.second;
+      if (present) row_removes[arc.first].push_back(arc.second);
+      missing += count - (present ? 1 : 0);
+    }
+  }
+  if (comm.allreduce_max<std::int64_t>(missing) > 0)
+    throw std::invalid_argument(
+        "apply_edge_changes: batch removes an edge the graph does not have");
+
+  // Additions after removals, in batch order (duplicate adds sum their
+  // weights left to right, matching build()'s arrival-order coalesce).
+  for (const EdgeChange& c : changes) {
+    if (c.remove) continue;
+    if (owns(c.u)) row_adds[to_local(c.u)].push_back({c.v, c.weight});
+    if (owns(c.v)) row_adds[to_local(c.v)].push_back({c.u, c.weight});
+  }
+
+  // Merge each touched row: drop removed arcs, fold additions into
+  // surviving arcs or insert them sorted.
+  std::map<VertexId, std::vector<HalfEdge>> new_rows;
+  for (const auto& kv : row_removes) new_rows.emplace(kv.first, std::vector<HalfEdge>{});
+  for (const auto& kv : row_adds) new_rows.emplace(kv.first, std::vector<HalfEdge>{});
+  for (auto& [lv, merged] : new_rows) {
+    const auto row = local_.neighbors(lv);
+    merged.assign(row.begin(), row.end());
+    if (const auto rit = row_removes.find(lv); rit != row_removes.end()) {
+      for (const VertexId dst : rit->second) {
+        const auto it = std::lower_bound(
+            merged.begin(), merged.end(), dst,
+            [](const HalfEdge& e, VertexId d) { return e.dst < d; });
+        merged.erase(it);  // presence established above
+      }
+    }
+    if (const auto ait = row_adds.find(lv); ait != row_adds.end()) {
+      for (const auto& [dst, w] : ait->second) {
+        const auto it = std::lower_bound(
+            merged.begin(), merged.end(), dst,
+            [](const HalfEdge& e, VertexId d) { return e.dst < d; });
+        if (it != merged.end() && it->dst == dst)
+          it->weight += w;
+        else
+          merged.insert(it, HalfEdge{dst, w});
+      }
+    }
+  }
+
+  // Splice: new offsets (old lengths adjusted for touched rows), then one
+  // O(arcs) copy -- untouched rows verbatim, touched rows from their merge.
+  const VertexId local_n = local_count();
+  const auto& old_offsets = local_.offsets();
+  const auto& old_half = local_.edges();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(local_n) + 1, 0);
+  for (VertexId lv = 0; lv < local_n; ++lv) {
+    const auto it = new_rows.find(lv);
+    const auto len = it != new_rows.end()
+                         ? static_cast<EdgeId>(it->second.size())
+                         : old_offsets[static_cast<std::size_t>(lv) + 1] -
+                               old_offsets[static_cast<std::size_t>(lv)];
+    offsets[static_cast<std::size_t>(lv) + 1] = offsets[static_cast<std::size_t>(lv)] + len;
+  }
+  std::vector<HalfEdge> half(static_cast<std::size_t>(offsets.back()));
+  util::parallel_for(pool, local_n, [&](int, std::int64_t begin, std::int64_t end) {
+    for (VertexId lv = begin; lv < end; ++lv) {
+      const auto out = half.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(lv)]);
+      const auto it = new_rows.find(lv);
+      if (it != new_rows.end()) {
+        std::copy(it->second.begin(), it->second.end(), out);
+      } else {
+        std::copy(old_half.begin() + static_cast<std::ptrdiff_t>(old_offsets[static_cast<std::size_t>(lv)]),
+                  old_half.begin() + static_cast<std::ptrdiff_t>(old_offsets[static_cast<std::size_t>(lv) + 1]),
+                  out);
+      }
+    }
+  });
+  local_ = Csr(local_n, std::move(offsets), std::move(half));
+
+  // Re-derive weighted degrees for touched rows only; totals by allreduce,
+  // summed serially in local-index order exactly as build() does.
+  for (const auto& [lv, merged] : new_rows) {
+    const VertexId gv = to_global(lv);
+    Weight k = 0;
+    for (const auto& e : merged) k += e.dst == gv ? 2 * e.weight : e.weight;
+    degrees_[static_cast<std::size_t>(lv)] = k;
+  }
+  Weight local_weight = 0;
+  for (const Weight k : degrees_) local_weight += k;
+  total_weight_ = comm.allreduce_sum(local_weight);
+  global_arcs_ = comm.allreduce_sum(local_.num_arcs());
+
+  // Ghosts, mirrors, dst slots, boundary flags, neighbour topology: the
+  // collective part that genuinely needs redoing.
+  discover_ghosts(comm);
 }
 
 void DistGraph::validate(comm::Comm& comm) const {

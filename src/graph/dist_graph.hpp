@@ -8,6 +8,7 @@
 // each rank also knows which of its own vertices are ghosted where.
 #pragma once
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,19 @@ namespace dlouvain::graph {
 enum class PartitionKind {
   kEvenVertices,  ///< equal vertex counts per rank
   kEvenEdges,     ///< equal edge counts per rank (the paper's choice)
+};
+
+/// One undirected edge mutation of a streaming batch (see
+/// DistGraph::apply_edge_changes and dlouvain::EdgeBatch). `remove` drops
+/// the whole edge {u, v} regardless of weight; otherwise weight (> 0) is
+/// ADDED to the edge, creating it if absent.
+struct EdgeChange {
+  VertexId u{kInvalidVertex};
+  VertexId v{kInvalidVertex};
+  Weight weight{1.0};
+  bool remove{false};
+
+  friend bool operator==(const EdgeChange&, const EdgeChange&) = default;
 };
 
 class DistGraph {
@@ -125,6 +139,23 @@ class DistGraph {
   /// CSR; each slices out its own rows. Collective.
   static DistGraph from_replicated(comm::Comm& comm, const Csr& global,
                                    PartitionKind kind = PartitionKind::kEvenEdges);
+
+  /// Apply a batch of undirected edge additions/removals in place and
+  /// reclassify everything derived from the arc set: CSR, degrees, total
+  /// weight, ghosts, mirrors, dst slots, interior/boundary flags, neighbour
+  /// topology. Collective: every rank passes the SAME global change list
+  /// (the streaming-session contract); each applies the changes touching
+  /// its owned rows, so both directions of every edge stay consistent.
+  ///
+  /// Semantics per change: removals resolve against the PRE-batch arc set
+  /// (removing an edge the graph does not have throws std::invalid_argument
+  /// on every rank); additions are applied afterwards and merge weights with
+  /// surviving or duplicate arcs. Self loops and out-of-range endpoints are
+  /// rejected. The partition is unchanged -- vertices never move ranks, so
+  /// a fixed (graph, batch sequence) yields an identical DistGraph at any
+  /// rank/thread count.
+  void apply_edge_changes(comm::Comm& comm, std::span<const EdgeChange> changes,
+                          util::ThreadPool* pool = nullptr);
 
   /// Collective consistency audit; throws std::logic_error (on every rank)
   /// describing the first violation found. Checks: every remote arc (u, v)

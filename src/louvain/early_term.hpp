@@ -47,6 +47,17 @@ class EtState {
     }
   }
 
+  /// Warm-start seeding (incremental updates): vertices flagged in `active`
+  /// start fully active (P = 1), everything else starts frozen (P = 0, i.e.
+  /// below any positive cutoff, so is_active() stays false for the rest of
+  /// the phase). With alpha 0 the active set never decays -- how the
+  /// non-ET variants keep every reactivated vertex live through the warm
+  /// phase.
+  void seed_activity(const std::vector<char>& active) {
+    for (std::size_t i = 0; i < prob_.size() && i < active.size(); ++i)
+      prob_[i] = active[i] != 0 ? 1.0 : 0.0;
+  }
+
   /// Count of vertices labelled inactive (P below cutoff) -- the quantity the
   /// ETC variant sums globally.
   [[nodiscard]] std::int64_t inactive_count() const {

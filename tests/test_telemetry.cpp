@@ -377,8 +377,9 @@ TEST(Manifest, ToJsonIsValidStableAndDeterministic) {
   expect_balanced_json(json);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
-  EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/2\""), std::string::npos);
   EXPECT_NE(json.find("\"engine\":\"distributed\""), std::string::npos);
+  EXPECT_NE(json.find("\"updates\":{\"batches_applied\":0"), std::string::npos);
   EXPECT_NE(json.find("\"comm.messages\":"), std::string::npos);
   EXPECT_NE(json.find("\"recovery\":{"), std::string::npos);
   EXPECT_NE(json.find("\"phases_detail\":["), std::string::npos);
@@ -402,8 +403,9 @@ TEST(Manifest, SerialAndSharedEnginesEmitValidManifests) {
        {Plan::serial().seed(123).run(g), Plan::shared(2).seed(123).run(g)}) {
     const auto json = r.to_json();
     expect_balanced_json(json);
-    EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/1\""),
+    EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/2\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"updates\":{"), std::string::npos);
     EXPECT_NE(json.find("\"recovery\":{"), std::string::npos);
   }
 }

@@ -22,6 +22,13 @@ hidden fraction (comm_hidden / total exchange latency of the overlap-on run)
 must reach --min-hidden. Use --emit pr5 with --bench to produce the PR5
 trail instead of the PR3 one (adds --ranks / --delay-ms knobs).
 
+When the current results carry an `update` section (the PR6 trail, produced
+by `micro_update --pr6_json=...` or `--emit pr6 --bench build/bench/
+micro_update`), the streaming-session acceptance bar is checked instead of
+the kernel table: Session::update must be at least --min-update-speedup x
+faster than the from-scratch run on the same final graph, and the session's
+modularity must sit within --mod-tolerance of the from-scratch result.
+
 Exit code 0 = within bounds, 1 = regression or malformed input,
 2 = missing input file (e.g. the baseline was never committed).
 
@@ -76,6 +83,12 @@ def check_manifest(manifest, failures):
     recovery = manifest.get("recovery")
     if not isinstance(recovery, dict):
         failures.append("manifest carries no recovery object")
+    # v2 adds the always-present streaming "updates" section; v1 documents
+    # (no updates object) remain valid inputs.
+    version = schema.rsplit("/", 1)[-1]
+    if version.isdigit() and int(version) >= 2:
+        if not isinstance(manifest.get("updates"), dict):
+            failures.append("v2 manifest carries no updates object")
     if engine != "distributed":
         return  # serial/shared manifests carry no counters by design
     counters = manifest.get("counters", {})
@@ -130,6 +143,31 @@ def check_overlap_ablation(ablation, min_hidden, failures):
             f"(floor {min_hidden:.0%})")
 
 
+def check_update_section(update, min_speedup, mod_tolerance, failures):
+    """Validate the PR6 streaming-update trail; append problems to failures."""
+    for key in ("speedup", "modularity_delta", "update_seconds_mean",
+                "scratch_seconds", "touched_fraction"):
+        if key not in update:
+            failures.append(f"update section missing '{key}'")
+            return
+    print(f"update trail: ranks={update.get('ranks')} "
+          f"batches={update.get('batches')}x{update.get('batch_edges')} edges  "
+          f"update {update['update_seconds_mean']:.3f}s vs scratch "
+          f"{update['scratch_seconds']:.3f}s = {update['speedup']:.2f}x "
+          f"(floor {min_speedup:.2f}x), |dQ| {update['modularity_delta']:.2e} "
+          f"(tol {mod_tolerance:.0e}), touched "
+          f"{update['touched_fraction']:.2%}/batch, "
+          f"{update.get('fallbacks', 0)} fallback(s)")
+    if update["speedup"] < min_speedup:
+        failures.append(
+            f"Session::update only {update['speedup']:.2f}x faster than "
+            f"from-scratch (floor {min_speedup:.2f}x)")
+    if update["modularity_delta"] > mod_tolerance:
+        failures.append(
+            f"session modularity drifted {update['modularity_delta']:.2e} from "
+            f"the from-scratch run (tolerance {mod_tolerance:.0e})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
@@ -145,15 +183,21 @@ def main():
                         help="required hash/flat local-move ratio in the fresh run")
     parser.add_argument("--manifest",
                         help="also validate this --metrics-out run manifest")
-    parser.add_argument("--emit", choices=("pr3", "pr5"), default="pr3",
+    parser.add_argument("--emit", choices=("pr3", "pr5", "pr6"), default="pr3",
                         help="which trail --bench should produce (default pr3)")
     parser.add_argument("--ranks", type=int, default=8,
-                        help="ranks for the pr5 overlap ablation")
+                        help="ranks for the pr5 overlap ablation / pr6 session")
     parser.add_argument("--delay-ms", type=float, default=1.0,
                         help="simulated per-message wire latency for pr5")
     parser.add_argument("--min-hidden", type=float, default=0.30,
                         help="required hidden fraction of exchange latency "
                              "when an overlap_ablation section is present")
+    parser.add_argument("--min-update-speedup", type=float, default=3.0,
+                        help="required Session::update vs from-scratch speedup "
+                             "when an update section is present")
+    parser.add_argument("--mod-tolerance", type=float, default=1e-3,
+                        help="allowed |session - scratch| modularity gap for "
+                             "the update section")
     args = parser.parse_args()
 
     if bool(args.current) == bool(args.bench):
@@ -173,6 +217,8 @@ def main():
         if args.emit == "pr5":
             cmd += [f"--pr5_ranks={args.ranks}",
                     f"--pr5_delay_ms={args.delay_ms}"]
+        elif args.emit == "pr6":
+            cmd += [f"--pr6_ranks={args.ranks}"]
         print("+", " ".join(cmd), flush=True)
         result = subprocess.run(cmd)
         if result.returncode != 0:
@@ -190,6 +236,9 @@ def main():
     if "overlap_ablation" in current:
         check_overlap_ablation(current["overlap_ablation"], args.min_hidden,
                                failures)
+    if "update" in current:
+        check_update_section(current["update"], args.min_update_speedup,
+                             args.mod_tolerance, failures)
     base_kernels = baseline.get("kernels", {})
     curr_kernels = current.get("kernels", {})
     same_input = baseline.get("graph") == current.get("graph")
@@ -211,7 +260,10 @@ def main():
 
     ratio = current.get("ratios", {}).get("local_move_hash_over_flat")
     if ratio is None:
-        failures.append("current results carry no local_move_hash_over_flat ratio")
+        # The kernel-ratio floor applies to kernel trails (pr3/pr5); a pr6
+        # update trail carries no kernel table by design.
+        if "kernels" in current or "kernels" in baseline:
+            failures.append("current results carry no local_move_hash_over_flat ratio")
     else:
         print(f"local-move speedup (hash/flat, same machine): {ratio:.2f}x "
               f"(floor {args.min_speedup:.2f}x)")

@@ -73,6 +73,13 @@ def check_manifest(path):
         fail(f"{path}: comm.messages not positive in a multi-rank run")
     if "recovery" not in manifest:
         fail(f"{path}: manifest carries no recovery object")
+    # v2 adds the always-present streaming "updates" section; v1 documents
+    # (no updates object) remain valid inputs.
+    version = schema.rsplit("/", 1)[-1]
+    if version.isdigit() and int(version) >= 2:
+        updates = manifest.get("updates")
+        if not isinstance(updates, dict) or "batches_applied" not in updates:
+            fail(f"{path}: v2 manifest carries no updates object")
     print(f"manifest ok: schema {schema}, "
           f"{counters['comm.messages']} messages")
 
