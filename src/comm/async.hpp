@@ -11,6 +11,15 @@
 //
 // Handles are created by Comm::irecv / Comm::isend (comm.hpp); they carry
 // pre-packed wire tags, so user code never constructs them directly.
+//
+// Interplay with the ARQ layer (mailbox.cpp, docs/FAULT_TOLERANCE.md rung 1):
+// handles need no retransmit logic of their own. A RecvHandle only observes
+// messages the mailbox DELIVERS, and delivery already sits downstream of the
+// per-stream sequence check, the CRC check, and the NACK/retransmit repair --
+// so a posted receive over a lossy wire simply completes later (after the
+// backoff) with the clean payload, in unchanged per-(src, tag) FIFO order.
+// If repair fails (retry budget exhausted, rank declared dead), wait()/test()
+// surface the escalated CommFailure/RankDead exactly like a blocking receive.
 #pragma once
 
 #include <chrono>

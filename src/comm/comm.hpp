@@ -165,15 +165,29 @@ class Comm {
 
   /// Crash trigger for deterministic fault injection: algorithm code calls
   /// this at well-defined progress points ({phase, iteration}); if the
-  /// world's FaultPlan pins a crash of this rank there, the rank dies by
-  /// throwing RankCrashed. No-op (one atomic-free null check) without
-  /// injection.
+  /// world's FaultPlan pins a crash of this rank there, the rank dies.
+  /// Transient crashes throw RankCrashed (retryable at the same world
+  /// size); permanent kills record the death in the world's heartbeat lane
+  /// and throw RankDead, the rung-2 verdict that tells the recovery driver
+  /// to shrink rather than retry. No-op (one atomic-free null check)
+  /// without injection.
   void fault_point(int phase, int iteration = 0) {
-    if (auto* injector = world_->injector();
-        injector != nullptr && injector->should_crash(rank_, phase, iteration)) {
-      throw RankCrashed("rank " + std::to_string(rank_) +
-                        ": injected crash at phase " + std::to_string(phase) +
-                        ", iteration " + std::to_string(iteration));
+    auto* injector = world_->injector();
+    if (injector == nullptr) return;
+    switch (injector->should_crash(rank_, phase, iteration)) {
+      case FaultInjector::CrashKind::kNone:
+        return;
+      case FaultInjector::CrashKind::kTransient:
+        throw RankCrashed("rank " + std::to_string(rank_) +
+                          ": injected crash at phase " + std::to_string(phase) +
+                          ", iteration " + std::to_string(iteration));
+      case FaultInjector::CrashKind::kPermanent:
+        world_->declare_dead(to_world(rank_));
+        throw RankDead(to_world(rank_),
+                       "rank " + std::to_string(rank_) +
+                           ": injected permanent death at phase " +
+                           std::to_string(phase) + ", iteration " +
+                           std::to_string(iteration));
     }
   }
 
@@ -190,6 +204,8 @@ class Comm {
     util::CounterBlock& ctr = world_->counters(to_world(rank_));
     ctr[util::Counter::kMessages] += 1;
     ctr[util::Counter::kBytes] += static_cast<std::int64_t>(payload.size());
+    // Every send doubles as this rank's heartbeat for the rung-2 lane.
+    world_->beat(to_world(rank_));
     world_->mailbox(to_world(dst)).put(Message{rank_, pack_tag(tag), std::move(payload)});
   }
 

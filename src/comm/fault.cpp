@@ -13,6 +13,8 @@ constexpr std::uint64_t kDelaySalt = 0x64656c6179ULL;      // "delay"
 constexpr std::uint64_t kDuplicateSalt = 0x647570ULL;      // "dup"
 constexpr std::uint64_t kCorruptSalt = 0x636f727275ULL;    // "corru"
 constexpr std::uint64_t kBitSalt = 0x626974ULL;            // "bit"
+constexpr std::uint64_t kLoseSalt = 0x6c6f7365ULL;         // "lose"
+constexpr std::uint64_t kRetrySalt = 0x7265747279ULL;      // "retry"
 
 std::uint64_t stream_key(Rank dst, Rank src, Tag tag, std::uint64_t seq) {
   return util::hash_combine(
@@ -32,6 +34,17 @@ FaultInjector::Fate FaultInjector::message_fate(Rank dst, Rank src, Tag tag,
   if (!plan_.injects_messages()) return fate;
   const std::uint64_t key = stream_key(dst, src, tag, seq);
 
+  // Loss preempts every other fate: a message that never made it across the
+  // wire cannot also be delayed or corrupted. Its sequence number is still
+  // consumed by the sender, which is exactly the gap the receiving mailbox's
+  // ARQ detects.
+  if (plan_.lose_probability > 0 &&
+      util::hash_rand_unit(util::hash_combine(plan_.seed, kLoseSalt) ^ key) <
+          plan_.lose_probability) {
+    fate.lose = true;
+    lost.fetch_add(1, std::memory_order_relaxed);
+    return fate;
+  }
   if (plan_.delay_probability > 0 &&
       util::hash_rand_unit(util::hash_combine(plan_.seed, kDelaySalt) ^ key) <
           plan_.delay_probability) {
@@ -58,19 +71,63 @@ FaultInjector::Fate FaultInjector::message_fate(Rank dst, Rank src, Tag tag,
   return fate;
 }
 
-bool FaultInjector::should_crash(Rank rank, int phase, int iteration) {
-  if (plan_.crashes.empty()) return false;
+FaultInjector::Fate FaultInjector::retransmit_fate(Rank dst, Rank src, Tag tag,
+                                                   std::uint64_t seq, int attempt,
+                                                   std::size_t payload_bytes) {
+  Fate fate;
+  if (!plan_.injects_messages()) return fate;
+  // Fold the attempt number into the key so each retransmission is an
+  // independent draw -- deterministic in (plan seed, message identity,
+  // attempt), independent of wall-clock backoff timing.
+  const std::uint64_t key =
+      util::hash_combine(stream_key(dst, src, tag, seq),
+                         util::hash_combine(kRetrySalt, static_cast<std::uint64_t>(attempt)));
+
+  if (plan_.lose_probability > 0 &&
+      util::hash_rand_unit(util::hash_combine(plan_.seed, kLoseSalt) ^ key) <
+          plan_.lose_probability) {
+    fate.lose = true;
+    lost.fetch_add(1, std::memory_order_relaxed);
+    return fate;
+  }
+  if (payload_bytes > 0 && plan_.corrupt_probability > 0 &&
+      util::hash_rand_unit(util::hash_combine(plan_.seed, kCorruptSalt) ^ key) <
+          plan_.corrupt_probability) {
+    fate.corrupt = true;
+    fate.corrupt_bit = static_cast<std::uint32_t>(
+        util::mix64(util::hash_combine(plan_.seed, kBitSalt) ^ key) %
+        (payload_bytes * 8));
+    corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fate;
+}
+
+FaultInjector::CrashKind FaultInjector::should_crash(Rank rank, int phase, int iteration) {
+  if (plan_.crashes.empty()) return CrashKind::kNone;
   const std::lock_guard<std::mutex> lock(crash_mutex_);
   for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
     const auto& c = plan_.crashes[i];
-    if (!crash_fired_[i] && c.rank == rank && c.phase == phase &&
-        c.iteration == iteration) {
+    if (c.rank != rank || c.phase != phase || c.iteration != iteration) continue;
+    if (c.permanent) {
+      // Dead hardware: fires on every attempt until retire()d by a shrink.
+      if (crash_fired_[i]) continue;  // retired
+      crashes_fired.fetch_add(1, std::memory_order_relaxed);
+      return CrashKind::kPermanent;
+    }
+    if (!crash_fired_[i]) {
       crash_fired_[i] = true;
       crashes_fired.fetch_add(1, std::memory_order_relaxed);
-      return true;
+      return CrashKind::kTransient;
     }
   }
-  return false;
+  return CrashKind::kNone;
+}
+
+void FaultInjector::retire(Rank rank) {
+  const std::lock_guard<std::mutex> lock(crash_mutex_);
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    if (plan_.crashes[i].permanent && plan_.crashes[i].rank == rank) crash_fired_[i] = true;
+  }
 }
 
 }  // namespace dlouvain::comm

@@ -2,20 +2,25 @@
 //
 // A FaultPlan is a seeded, declarative description of the failures one run
 // should experience: rank crashes pinned to a {phase, iteration} of the
-// algorithm, plus per-message delay / duplication / payload-corruption
-// probabilities applied on the wire. A FaultInjector is the plan's live,
-// shareable state: message fates are drawn from counter-based hashes keyed
-// on (destination, source, tag, per-stream sequence number), so which
-// message is delayed / duplicated / corrupted is a pure function of the plan
-// seed and the communication pattern -- NOT of thread scheduling -- and every
-// failure scenario replays exactly. Crash triggers are one-shot: the same
-// injector carried across restart attempts fires each crash once, which is
-// what lets a recovery driver resume past an injected failure.
+// algorithm (transient with crash(), permanent with kill()), plus
+// per-message delay / duplication / payload-corruption / loss probabilities
+// applied on the wire. A FaultInjector is the plan's live, shareable state:
+// message fates are drawn from counter-based hashes keyed on (destination,
+// source, tag, per-stream sequence number), so which message is delayed /
+// duplicated / corrupted / lost is a pure function of the plan seed and the
+// communication pattern -- NOT of thread scheduling -- and every failure
+// scenario replays exactly. Crash triggers are one-shot: the same injector
+// carried across restart attempts fires each crash once, which is what lets
+// a recovery driver resume past an injected failure. kill() triggers are the
+// opposite -- they re-fire on every attempt, modelling dead hardware, until
+// the recovery driver retires them by excluding the dead rank from the world
+// (the rung-3 shrink; see docs/FAULT_TOLERANCE.md).
 //
 // Injection sites (see mailbox.cpp): fates are applied as messages enter the
 // destination mailbox, inside the per-stream sequence numbering, so the
 // per-(src, tag) FIFO guarantee is preserved by construction -- a delayed
-// message delays its whole stream rather than being overtaken.
+// message delays its whole stream rather than being overtaken, and a lost
+// message consumes its sequence number (the gap the receiver detects).
 #pragma once
 
 #include <atomic>
@@ -44,6 +49,9 @@ struct FaultPlan {
     Rank rank{0};
     int phase{0};
     int iteration{0};
+    /// Transient crashes (crash()) fire once; permanent deaths (kill())
+    /// re-fire every attempt until retired -- the rank's hardware is gone.
+    bool permanent{false};
   };
   std::vector<Crash> crashes;
 
@@ -51,13 +59,22 @@ struct FaultPlan {
   double delay_ms{2.0};             ///< visibility delay for delayed messages
   double duplicate_probability{0};  ///< per message; re-enqueue same seq
   double corrupt_probability{0};    ///< per message; flip one payload bit
+  double lose_probability{0};       ///< per message; drop it on the wire
 
   FaultPlan& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
   }
   FaultPlan& crash(Rank rank, int phase, int iteration = 0) {
-    crashes.push_back(Crash{rank, phase, iteration});
+    crashes.push_back(Crash{rank, phase, iteration, false});
+    return *this;
+  }
+  /// Permanent rank death at {phase, iteration}: throws RankDead (not
+  /// RankCrashed) and RE-FIRES on every restart attempt -- a retry at the
+  /// same rank count hits the same dead rank again. Only a rung-3 shrink
+  /// (which retires the entry) gets past it.
+  FaultPlan& kill(Rank rank, int phase, int iteration = 0) {
+    crashes.push_back(Crash{rank, phase, iteration, true});
     return *this;
   }
   FaultPlan& delay(double probability, double ms = 2.0) {
@@ -73,9 +90,17 @@ struct FaultPlan {
     corrupt_probability = probability;
     return *this;
   }
+  /// Drop the message on the wire: the sequence number is consumed but the
+  /// payload never reaches the destination queue -- the gap the receiving
+  /// mailbox's ARQ layer detects and NACKs (docs/FAULT_TOLERANCE.md rung 1).
+  FaultPlan& lose(double probability) {
+    lose_probability = probability;
+    return *this;
+  }
 
   [[nodiscard]] bool injects_messages() const noexcept {
-    return delay_probability > 0 || duplicate_probability > 0 || corrupt_probability > 0;
+    return delay_probability > 0 || duplicate_probability > 0 ||
+           corrupt_probability > 0 || lose_probability > 0;
   }
 };
 
@@ -87,7 +112,9 @@ class FaultInjector {
 
   /// Fate of the message with per-stream sequence number `seq` travelling
   /// src -> dst under wire tag `tag`. Deterministic; counters updated.
+  /// A lost message has no other fate (it never reaches the wire's far end).
   struct Fate {
+    bool lose{false};
     bool delay{false};
     bool duplicate{false};
     bool corrupt{false};
@@ -96,17 +123,35 @@ class FaultInjector {
   Fate message_fate(Rank dst, Rank src, Tag tag, std::uint64_t seq,
                     std::size_t payload_bytes);
 
+  /// Fate of retransmission `attempt` (>= 1) of the same message: an
+  /// independent draw per attempt, so a retransmitted copy can itself be
+  /// lost or corrupted again -- which is what exercises the capped backoff
+  /// and the bounded-retry escalation. Only lose/corrupt apply (a
+  /// retransmission is already a duplicate by construction, and its delay
+  /// is the ARQ backoff).
+  Fate retransmit_fate(Rank dst, Rank src, Tag tag, std::uint64_t seq, int attempt,
+                       std::size_t payload_bytes);
+
   [[nodiscard]] double delay_ms() const noexcept { return plan_.delay_ms; }
   [[nodiscard]] bool injects_messages() const noexcept { return plan_.injects_messages(); }
 
-  /// One-shot crash trigger: true exactly once for each plan entry matching
-  /// (rank, phase, iteration).
-  bool should_crash(Rank rank, int phase, int iteration);
+  /// Crash-trigger verdict for this (rank, phase, iteration) progress point.
+  enum class CrashKind { kNone, kTransient, kPermanent };
+
+  /// kTransient exactly once for each crash() entry matching (rank, phase,
+  /// iteration); kPermanent on EVERY match of a live kill() entry.
+  CrashKind should_crash(Rank rank, int phase, int iteration);
+
+  /// Retire every kill() entry for `rank`: the recovery driver excluded the
+  /// dead rank from the world (rung-3 shrink), so its hardware death can no
+  /// longer fire.
+  void retire(Rank rank);
 
   // Telemetry (cumulative across all attempts sharing this injector).
   std::atomic<std::int64_t> delayed{0};
   std::atomic<std::int64_t> duplicated{0};
   std::atomic<std::int64_t> corrupted{0};
+  std::atomic<std::int64_t> lost{0};
   std::atomic<std::int64_t> crashes_fired{0};
 
  private:

@@ -1,6 +1,8 @@
 #include "comm/mailbox.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "comm/fault.hpp"
@@ -12,6 +14,17 @@ namespace dlouvain::comm {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// ARQ backoff plateaus at base * 2^kBackoffCapDoublings -- exponential
+/// enough to yield under persistent trouble, capped so a recovering link
+/// re-probes within a bounded interval.
+constexpr int kBackoffCapDoublings = 6;
+
+/// How many times a bounded receive may extend its deadline on evidence the
+/// world is slow-but-alive (rung-2 verdict) before reporting CommTimeout
+/// anyway. A genuinely deadlocked world produces no heartbeats, so it never
+/// extends and the diagnostic fires on schedule.
+constexpr int kMaxSlowExtensions = 3;
 
 /// RAII entry in the mailbox's blocked-receiver registry (caller holds the
 /// mailbox mutex at construction and destruction). Registers every wanted
@@ -50,10 +63,23 @@ void Mailbox::put(Message msg) {
     msg.crc = util::crc32(msg.payload);
     msg.arrived_at = Clock::now();
 
+    if (arq_enabled()) {
+      // Retain the CLEAN payload (before any injected fate) in a pooled
+      // slab: the sender-side link buffer a NACK retransmits from. Released
+      // by the cumulative ack when the message is delivered.
+      std::vector<std::byte> copy = arq_pool_.acquire(msg.payload.size());
+      if (!copy.empty()) std::memcpy(copy.data(), msg.payload.data(), copy.size());
+      retained_bytes_ += copy.size();
+      retained_[stream_key(msg.src, msg.tag)].push_back(
+          Retained{msg.seq, std::move(copy), msg.crc});
+    }
+
     bool duplicate = false;
+    bool lose = false;
     if (injector_ != nullptr && injector_->injects_messages()) {
       const auto fate =
           injector_->message_fate(owner_, msg.src, msg.tag, msg.seq, msg.payload.size());
+      lose = fate.lose;
       if (fate.delay) {
         msg.visible_at = msg.arrived_at + std::chrono::duration_cast<Clock::duration>(
                                               std::chrono::duration<double, std::milli>(
@@ -68,20 +94,38 @@ void Mailbox::put(Message msg) {
       duplicate = fate.duplicate;
     }
 
-    if (duplicate) queue_.push_back(msg);  // same seq: dedup layer's problem
-    queue_.push_back(std::move(msg));
+    // A lost message consumed its sequence number but never reaches the
+    // queue: the receiver sees a stream gap (and, with ARQ, NACKs it).
+    if (!lose) {
+      if (duplicate) queue_.push_back(msg);  // same seq: dedup layer's problem
+      queue_.push_back(std::move(msg));
+    }
   }
   cv_.notify_all();
 }
 
 Mailbox::ScanResult Mailbox::scan_locked(std::span<const Want> wants) {
   // Queue order is put order across ALL streams, so delivering the first
-  // deliverable match is arrival-order completion. Per-stream FIFO is still
-  // honoured: once a stream's head is seen but not yet visible, that stream
-  // is blocked and its later entries are skipped rather than overtaking.
+  // deliverable match is arrival-order completion. Per-stream FIFO needs no
+  // extra bookkeeping: only the entry whose seq equals the stream's
+  // next-deliver counter is a candidate, so later entries (including
+  // retransmitted copies, which sit out of arrival order at the back) can
+  // never overtake.
   ScanResult result;
   const auto now = Clock::now();
-  std::vector<std::uint64_t> blocked;  // streams whose delayed head was passed
+  struct Gap {
+    std::uint64_t key;
+    Rank src;
+    Tag tag;
+    std::uint64_t expected;
+    std::uint64_t found;
+  };
+  std::vector<Gap> gaps;           // streams where an entry past a hole was seen
+  std::vector<std::uint64_t> satisfied;  // streams holding a seq==expected entry
+  const auto is_satisfied = [&](std::uint64_t key) {
+    return std::find(satisfied.begin(), satisfied.end(), key) != satisfied.end();
+  };
+
   for (std::size_t i = 0; i < queue_.size();) {
     const Message& m = queue_[i];
     const auto match = std::find_if(wants.begin(), wants.end(), [&](const Want& w) {
@@ -92,18 +136,6 @@ Mailbox::ScanResult Mailbox::scan_locked(std::span<const Want> wants) {
       continue;
     }
     const std::uint64_t key = stream_key(m.src, m.tag);
-    if (std::find(blocked.begin(), blocked.end(), key) != blocked.end()) {
-      ++i;
-      continue;
-    }
-    if (m.visible_at > now) {
-      if (!result.head_delayed || m.visible_at < result.next_visible)
-        result.next_visible = m.visible_at;
-      result.head_delayed = true;
-      blocked.push_back(key);
-      ++i;
-      continue;
-    }
     auto& expected = next_deliver_seq_[key];
     if (m.seq < expected) {
       // Duplicate delivery: drop and keep scanning. The counter goes into
@@ -116,16 +148,40 @@ Mailbox::ScanResult Mailbox::scan_locked(std::span<const Want> wants) {
       continue;
     }
     if (m.seq > expected) {
-      throw CommFailure("mailbox of rank " + std::to_string(owner_) +
-                        ": lost message in stream (src=" + std::to_string(m.src) +
-                        ", tag=" + std::to_string(m.tag) + "): expected seq " +
-                        std::to_string(expected) + ", found " + std::to_string(m.seq));
+      // A hole precedes this entry: either the expected message is lost
+      // (resolved after the walk -- NACK with ARQ, hard failure without) or
+      // its copy is merely delayed and sits elsewhere in the queue, which
+      // `satisfied` disambiguates.
+      if (std::none_of(gaps.begin(), gaps.end(), [&](const Gap& g) { return g.key == key; }))
+        gaps.push_back(Gap{key, m.src, m.tag, expected, m.seq});
+      ++i;
+      continue;
     }
-
+    // m.seq == expected: the head of this stream.
+    if (m.visible_at > now) {
+      if (!result.head_delayed || m.visible_at < result.next_visible)
+        result.next_visible = m.visible_at;
+      result.head_delayed = true;
+      satisfied.push_back(key);
+      ++i;
+      continue;
+    }
+    const bool crc_ok = util::crc32(m.payload) == m.crc;
+    if (!crc_ok && arq_enabled()) {
+      // Rung 1: discard the corrupt copy and NACK a clean retransmission
+      // from the retained store. The stream stays blocked until it lands.
+      const Rank src = m.src;
+      const Tag tag = m.tag;
+      const std::uint64_t seq = m.seq;
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      nack_locked(key, src, tag, seq, now, "checksum mismatch", result);
+      satisfied.push_back(key);  // recovery in progress; no second NACK below
+      continue;
+    }
     result.msg = std::move(queue_[i]);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
     ++expected;
-    if (util::crc32(result.msg.payload) != result.msg.crc) {
+    if (!crc_ok) {
       throw CorruptMessage("rank " + std::to_string(owner_) +
                            ": payload checksum mismatch on message (src=" +
                            std::to_string(result.msg.src) +
@@ -133,11 +189,124 @@ Mailbox::ScanResult Mailbox::scan_locked(std::span<const Want> wants) {
                            ", seq=" + std::to_string(result.msg.seq) + ", " +
                            std::to_string(result.msg.payload.size()) + " bytes)");
     }
+    ack_locked(key, result.msg.seq);
     result.delivered = true;
     result.want_index = static_cast<std::size_t>(match - wants.begin());
     return result;
   }
+
+  // Nothing deliverable. Streams with a hole and no queued head copy need
+  // link-level recovery; so does the lost-TAIL case (the newest message
+  // dropped, leaving no queue entry at all), which only the retained store
+  // can witness.
+  if (arq_enabled()) {
+    for (const auto& w : wants) {
+      const std::uint64_t key = stream_key(w.src, w.tag);
+      if (is_satisfied(key)) continue;
+      const auto rit = retained_.find(key);
+      if (rit == retained_.end() || rit->second.empty()) continue;
+      const auto dit = next_deliver_seq_.find(key);
+      const std::uint64_t expected = dit == next_deliver_seq_.end() ? 0 : dit->second;
+      if (rit->second.front().seq != expected) continue;
+      nack_locked(key, w.src, w.tag, expected, now, "sequence gap", result);
+    }
+  } else {
+    for (const auto& g : gaps) {
+      if (is_satisfied(g.key)) continue;
+      throw CommFailure("mailbox of rank " + std::to_string(owner_) +
+                        ": lost message in stream (src=" + std::to_string(g.src) +
+                        ", tag=" + std::to_string(g.tag) + "): expected seq " +
+                        std::to_string(g.expected) + ", found " + std::to_string(g.found));
+    }
+  }
   return result;
+}
+
+void Mailbox::nack_locked(std::uint64_t key, Rank src, Tag tag, std::uint64_t seq,
+                          Clock::time_point now, const char* why, ScanResult& result) {
+  auto& st = arq_[key];
+  if (st.seq != seq || st.attempts == 0) st = ArqState{seq, 0, Clock::time_point{}};
+  if (now < st.not_before) {
+    // Backoff in progress (or the retransmitted copy is still in flight):
+    // bound the caller's sleep to the gate, no new attempt.
+    if (!result.head_delayed || st.not_before < result.next_visible)
+      result.next_visible = st.not_before;
+    result.head_delayed = true;
+    return;
+  }
+  if (st.attempts >= retransmit_max_) {
+    if (world_ != nullptr)
+      world_->counters(owner_)[util::Counter::kArqEscalations] += 1;
+    throw CommFailure("rank " + std::to_string(owner_) +
+                      ": link-level retransmit budget exhausted after " +
+                      std::to_string(st.attempts) + " attempts on stream (src=" +
+                      std::to_string(src) + ", tag=" + std::to_string(tag) +
+                      "), seq " + std::to_string(seq) + " (" + why + ")");
+  }
+  ++st.attempts;
+
+  const auto rit = retained_.find(key);
+  if (rit == retained_.end() || rit->second.empty() || rit->second.front().seq != seq) {
+    throw CommFailure("rank " + std::to_string(owner_) +
+                      ": no retained copy to retransmit for stream (src=" +
+                      std::to_string(src) + ", tag=" + std::to_string(tag) +
+                      "), seq " + std::to_string(seq) + " (" + why + ")");
+  }
+  const Retained& kept = rit->second.front();
+
+  const double backoff_ms =
+      retransmit_backoff_ms_ *
+      static_cast<double>(1u << std::min(st.attempts - 1, kBackoffCapDoublings));
+  st.not_before = now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(backoff_ms));
+  if (world_ != nullptr) {
+    auto& counters = world_->counters(owner_);
+    counters[util::Counter::kArqNacks] += 1;
+    counters[util::Counter::kArqBackoffMs] +=
+        static_cast<std::int64_t>(std::llround(backoff_ms));
+  }
+
+  // The retransmitted copy crosses the same faulty wire: draw an independent
+  // per-attempt fate so it too can be lost or corrupted (deterministically).
+  FaultInjector::Fate fate;
+  if (injector_ != nullptr && injector_->injects_messages())
+    fate = injector_->retransmit_fate(owner_, src, tag, seq, st.attempts,
+                                      kept.payload.size());
+  if (!fate.lose) {
+    Message copy;
+    copy.src = src;
+    copy.tag = tag;
+    copy.payload = kept.payload;
+    copy.seq = seq;
+    copy.crc = kept.crc;
+    copy.arrived_at = now;
+    copy.visible_at = st.not_before;  // the repair lands after the backoff round trip
+    if (fate.corrupt) {
+      auto& byte = copy.payload[fate.corrupt_bit / 8];
+      byte ^= static_cast<std::byte>(1u << (fate.corrupt_bit % 8));
+    }
+    queue_.push_back(std::move(copy));
+    if (world_ != nullptr)
+      world_->counters(owner_)[util::Counter::kArqRetransmits] += 1;
+  }
+  if (!result.head_delayed || st.not_before < result.next_visible)
+    result.next_visible = st.not_before;
+  result.head_delayed = true;
+}
+
+void Mailbox::ack_locked(std::uint64_t key, std::uint64_t acked) {
+  if (!arq_enabled()) return;
+  const auto rit = retained_.find(key);
+  if (rit == retained_.end()) return;
+  auto& kept = rit->second;
+  while (!kept.empty() && kept.front().seq <= acked) {
+    retained_bytes_ -= kept.front().payload.size();
+    arq_pool_.release(std::move(kept.front().payload));
+    kept.pop_front();
+  }
+  if (kept.empty()) retained_.erase(rit);
+  const auto ait = arq_.find(key);
+  if (ait != arq_.end() && ait->second.seq <= acked) arq_.erase(ait);
 }
 
 std::pair<Message, std::size_t> Mailbox::get_any_impl(std::span<const Want> wants) {
@@ -145,21 +314,44 @@ std::pair<Message, std::size_t> Mailbox::get_any_impl(std::span<const Want> want
   const WaitingGuard waiting(waiting_, wants);
 
   const bool bounded = timeout_seconds_ > 0;
-  const auto deadline =
-      bounded ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(timeout_seconds_))
-              : Clock::time_point::max();
+  const auto timeout_dur = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(timeout_seconds_));
+  auto deadline = bounded ? Clock::now() + timeout_dur : Clock::time_point::max();
+  int extensions = 0;
 
   for (;;) {
     if (aborted_) throw WorldAborted{};
 
     ScanResult scan = scan_locked(wants);
-    if (scan.delivered) return {std::move(scan.msg), scan.want_index};
+    if (scan.delivered) {
+      // Successful delivery is this rank's heartbeat: peers blocked on a
+      // deadline can tell a slow world from a dead one.
+      if (world_ != nullptr) world_->beat(owner_);
+      return {std::move(scan.msg), scan.want_index};
+    }
 
     if (Clock::now() >= deadline) {
-      // Deadline expired with no matching message: assemble the deadlock
-      // diagnostic. Our own state is summarised under our (held) lock; the
-      // rest of the world via try_lock snapshots.
+      if (world_ != nullptr) {
+        // Rung 2: turn the raw deadline expiry into a structured verdict.
+        if (const Rank dead = world_->first_dead_rank(); dead >= 0) {
+          throw RankDead(dead, "rank " + std::to_string(dead) +
+                                   " is dead (heartbeat verdict); rank " +
+                                   std::to_string(owner_) + " blocked on " +
+                                   wants_desc(wants));
+        }
+        if (extensions < kMaxSlowExtensions &&
+            world_->beat_after(deadline - timeout_dur, owner_)) {
+          // Slow, not dead: a peer made progress inside this window, so the
+          // world is degraded rather than wedged -- extend and keep waiting.
+          ++extensions;
+          world_->counters(owner_)[util::Counter::kHeartbeatExtensions] += 1;
+          deadline += timeout_dur;
+          continue;
+        }
+      }
+      // No heartbeat anywhere: assemble the deadlock diagnostic. Our own
+      // state is summarised under our (held) lock; the rest of the world
+      // via try_lock snapshots.
       std::string report = "comm timeout after " + std::to_string(timeout_seconds_) +
                            "s: rank " + std::to_string(owner_) + " blocked on " +
                            wants_desc(wants);
@@ -167,8 +359,9 @@ std::pair<Message, std::size_t> Mailbox::get_any_impl(std::span<const Want> want
       if (world_ != nullptr) report += world_->deadlock_report(owner_);
       throw CommTimeout(report);
     }
-    // A delayed stream head or a finite deadline bounds the sleep; the scan
-    // holds no iterators across the unlock, so just re-scan after every wake.
+    // A delayed stream head, an ARQ backoff gate, or a finite deadline
+    // bounds the sleep; the scan holds no iterators across the unlock, so
+    // just re-scan after every wake.
     if (scan.head_delayed) {
       cv_.wait_until(lock, std::min(scan.next_visible, deadline));
     } else if (bounded) {
@@ -194,6 +387,7 @@ std::optional<Message> Mailbox::try_get(Rank src, Tag tag) {
   const Want want{src, tag};
   ScanResult scan = scan_locked({&want, 1});
   if (!scan.delivered) return std::nullopt;
+  if (world_ != nullptr) world_->beat(owner_);
   return std::move(scan.msg);
 }
 
@@ -215,9 +409,15 @@ std::int64_t Mailbox::duplicates_dropped() const {
   return duplicates_dropped_;
 }
 
+std::size_t Mailbox::retained_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retained_bytes_;
+}
+
 std::string Mailbox::status_line_locked() const {
   std::ostringstream out;
   out << "rank " << owner_ << ": " << queue_.size() << " pending";
+  if (retained_bytes_ > 0) out << ", " << retained_bytes_ << "B retained";
   if (!waiting_.empty()) {
     out << ", blocked on";
     for (const auto& [src, tag] : waiting_) out << " (src=" << src << ", tag=" << tag << ")";

@@ -16,6 +16,17 @@
 //    CommTimeout carrying a deadlock diagnostic (which ranks are blocked on
 //    which (src, tag), per-mailbox pending depths) instead of hanging
 //    forever.
+//
+// ISSUE 7 adds the RESPONSE layer on top of detection -- rung 1 of the
+// recovery ladder (docs/FAULT_TOLERANCE.md). With retransmission enabled,
+// put() retains a clean copy of every payload in pooled slabs until its
+// delivery acknowledges it; a receiver that detects a sequence gap or a
+// checksum mismatch issues a NACK against the retained store and the link
+// retransmits with capped exponential backoff, bounded by `retransmit_max`
+// attempts per message before escalating to CommFailure. Retransmitted
+// copies carry the original sequence number, so the existing duplicate-
+// suppression machinery makes the repair invisible to the algorithm:
+// delivered bytes and order are bitwise those of a clean wire.
 #pragma once
 
 #include <chrono>
@@ -31,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/buffer_pool.hpp"
 #include "comm/message.hpp"
 
 namespace dlouvain::comm {
@@ -63,18 +75,33 @@ struct CorruptMessage : CommFailure {
   using CommFailure::CommFailure;
 };
 
+/// Rung-2 structured verdict: a specific rank is DEAD (its heartbeat lane
+/// declared it, or its own fault_point fired a permanent kill), not merely
+/// slow. Carries the world rank so the rung-3 recovery driver can shrink the
+/// world to the survivors instead of blindly retrying at full size.
+struct RankDead : CommFailure {
+  Rank rank{-1};
+  RankDead(Rank dead_rank, const std::string& msg) : CommFailure(msg), rank(dead_rank) {}
+};
+
 class Mailbox {
  public:
   /// `world` may be null (standalone use in unit tests): no deadline, no
   /// injection, no global counters. `timeout_seconds` <= 0 = wait forever.
+  /// `retransmit_max` > 0 enables link-level ARQ: that many retransmission
+  /// attempts per message (first retry after `retransmit_backoff_ms`,
+  /// doubling per attempt, capped) before the link escalates.
   explicit Mailbox(World* world = nullptr, Rank owner = 0, double timeout_seconds = 0,
-                   FaultInjector* injector = nullptr)
+                   FaultInjector* injector = nullptr, int retransmit_max = 0,
+                   double retransmit_backoff_ms = 1.0)
       : world_(world), owner_(owner), timeout_seconds_(timeout_seconds),
-        injector_(injector) {}
+        injector_(injector), retransmit_max_(retransmit_max),
+        retransmit_backoff_ms_(retransmit_backoff_ms) {}
 
   /// Deposit a message (buffered send: never blocks). Stamps the sequence
-  /// number and payload CRC, then applies any injected fate (delay /
-  /// duplicate / corrupt) from the world's FaultInjector.
+  /// number and payload CRC, retains a clean copy for retransmission when
+  /// ARQ is on, then applies any injected fate (delay / duplicate / corrupt
+  /// / lose) from the world's FaultInjector.
   void put(Message msg);
 
   /// Block until a message from `src` with tag `tag` is available, then
@@ -112,6 +139,10 @@ class Mailbox {
   /// Duplicate messages this mailbox has dropped (diagnostics only).
   [[nodiscard]] std::int64_t duplicates_dropped() const;
 
+  /// Payload bytes currently retained for possible retransmission
+  /// (diagnostics only; 0 with ARQ off or everything acknowledged).
+  [[nodiscard]] std::size_t retained_bytes() const;
+
   /// One line for the deadlock report: blocked receivers and queue depth.
   /// Uses try_lock so a wedged peer cannot block the reporter; returns
   /// "rank N: <busy>" if the mailbox lock is held elsewhere.
@@ -127,7 +158,8 @@ class Mailbox {
   /// One pass over the queue under the caller's lock: drop duplicates,
   /// detect stream gaps, and deliver the oldest visible entry matching any
   /// want. `head_delayed`/`next_visible` report a matching-but-not-yet-
-  /// visible head so blocking callers can bound their sleep.
+  /// visible head (or an ARQ backoff in progress) so blocking callers can
+  /// bound their sleep.
   struct ScanResult {
     bool delivered{false};
     Message msg{};
@@ -138,10 +170,40 @@ class Mailbox {
   ScanResult scan_locked(std::span<const Want> wants);
   std::pair<Message, std::size_t> get_any_impl(std::span<const Want> wants);
 
+  // --- rung-1 ARQ internals (all under mutex_) ---
+
+  /// Sender-retained copy of one unacknowledged message (the link buffer).
+  struct Retained {
+    std::uint64_t seq{0};
+    std::vector<std::byte> payload;  ///< slab from arq_pool_
+    std::uint32_t crc{0};
+  };
+  /// Per-stream retransmission state for the sequence number currently
+  /// being recovered.
+  struct ArqState {
+    std::uint64_t seq{0};     ///< the missing/corrupt seq under recovery
+    int attempts{0};          ///< retransmissions already issued for it
+    std::chrono::steady_clock::time_point not_before{};  ///< backoff gate
+  };
+
+  [[nodiscard]] bool arq_enabled() const noexcept { return retransmit_max_ > 0; }
+  /// NACK `seq` on stream (src, tag): retransmit from the retained store,
+  /// honouring the backoff gate, or throw CommFailure once the retry budget
+  /// is exhausted. Updates `result`'s sleep bound. `now` is the scan's
+  /// timestamp. Returns true if the caller should keep scanning (the stream
+  /// stays blocked either way).
+  void nack_locked(std::uint64_t key, Rank src, Tag tag, std::uint64_t seq,
+                   std::chrono::steady_clock::time_point now, const char* why,
+                   ScanResult& result);
+  /// Drop retained copies with seq <= `acked` (cumulative ack on delivery).
+  void ack_locked(std::uint64_t key, std::uint64_t acked);
+
   World* world_;
   Rank owner_;
   double timeout_seconds_;
   FaultInjector* injector_;
+  int retransmit_max_;
+  double retransmit_backoff_ms_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -151,6 +213,14 @@ class Mailbox {
   std::unordered_map<std::uint64_t, std::uint64_t> next_deliver_seq_;
   std::vector<std::pair<Rank, Tag>> waiting_;  ///< blocked receivers' (src, tag)
   std::int64_t duplicates_dropped_{0};
+
+  /// Unacked payload copies per stream (FIFO by seq) and the in-progress
+  /// recovery state. Slabs come from arq_pool_ (private to this mailbox, so
+  /// only ever touched under mutex_) and return to it on acknowledgement.
+  std::unordered_map<std::uint64_t, std::deque<Retained>> retained_;
+  std::unordered_map<std::uint64_t, ArqState> arq_;
+  BufferPool arq_pool_;
+  std::size_t retained_bytes_{0};
 };
 
 }  // namespace dlouvain::comm

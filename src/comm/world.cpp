@@ -18,10 +18,16 @@ World::World(int size, const RunOptions& options) : options_(options) {
   trace_ = options_.trace;
   if (trace_ && trace_->num_ranks() < size)
     throw std::invalid_argument("RunOptions::trace store smaller than world");
+  if (options_.retransmit_max < 0)
+    throw std::invalid_argument("RunOptions::retransmit_max must be >= 0");
+  if (options_.retransmit_backoff_ms <= 0 && options_.retransmit_max > 0)
+    throw std::invalid_argument("RunOptions::retransmit_backoff_ms must be positive");
+  health_ = std::make_unique<RankHealth[]>(static_cast<std::size_t>(size));
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
-    mailboxes_.push_back(std::make_unique<Mailbox>(this, r, options_.timeout_seconds,
-                                                   options_.faults.get()));
+    mailboxes_.push_back(std::make_unique<Mailbox>(
+        this, r, options_.timeout_seconds, options_.faults.get(),
+        options_.retransmit_max, options_.retransmit_backoff_ms));
 }
 
 void World::abort_all() {
@@ -95,6 +101,7 @@ TrafficReport run(int nranks, const std::function<void(Comm&)>& fn,
     report.injected_delays = inj->delayed.load();
     report.injected_duplicates = inj->duplicated.load();
     report.injected_corruptions = inj->corrupted.load();
+    report.injected_losses = inj->lost.load();
   }
   return report;
 }

@@ -37,6 +37,14 @@
 // is repartitioned on load -- and yields a valid clustering with exact
 // bookkeeping, but not the same bits: sweep orders are keyed on partition
 // offsets, so the move sequence legitimately differs.
+//
+// Different-p resume is also the machinery behind the rung-3 shrink
+// (docs/FAULT_TOLERANCE.md): when a rank is declared DEAD, the Session
+// recovery driver resumes from the newest checkpoint at p-1 ranks. Nothing
+// here is shrink-specific -- the config fingerprint deliberately excludes
+// the rank count, so a p-rank checkpoint loads at any p' >= 1, and a shrink
+// resume is bit-for-bit the same computation as a user-initiated clean
+// resume at p-1 (test_recovery_soak.cpp proves that equivalence).
 #pragma once
 
 #include <cstdint>

@@ -8,10 +8,12 @@
 // built from these helpers.
 //
 // Manifest schema (stable, versioned): see docs/OBSERVABILITY.md. The
-// top-level "schema" key is "dlouvain-run-manifest/2"; v2 adds the always-
-// present "updates" section (streaming-session telemetry). v1 documents
+// top-level "schema" key is "dlouvain-run-manifest/3"; v2 added the always-
+// present "updates" section (streaming-session telemetry), v3 adds the
+// "recovery.ladder" section (graduated recovery telemetry: retransmits,
+// verdicts, shrinks) and the arq.*/heartbeat.* counters. v1/v2 documents
 // remain valid inputs for the tooling (tools/check_bench_regression.py,
-// tools/validate_trace.py accept both).
+// tools/validate_trace.py accept all versions).
 #pragma once
 
 #include <string>
@@ -22,7 +24,7 @@
 
 namespace dlouvain::core {
 
-inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/2";
+inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/3";
 
 /// JSON string escaping (quotes, backslash, control characters).
 std::string json_escape(std::string_view s);

@@ -69,6 +69,9 @@ void Plan::validate() const {
   }
   if (!checkpoint_dir_.empty() && checkpoint_every_ < 1)
     fail("checkpointing() interval must be >= 1");
+  if (retransmit_max_ < 0) fail("retransmit() attempts must be >= 0");
+  if (retransmit_max_ > 0 && !(retransmit_backoff_ms_ > 0))
+    fail("retransmit() backoff must be > 0 ms");
   if (resume_ && resume_dir_.empty())
     fail("resume() needs a checkpoint directory");
   if (resume_ && !checkpoint_dir_.empty() && resume_dir_ != checkpoint_dir_) {
@@ -96,6 +99,8 @@ void Plan::validate() const {
   if (faults_) dist_only("inject_faults()");
   if (comm_timeout_ > 0) dist_only("comm_timeout()");
   if (max_restarts_ > 0) dist_only("max_restarts()");
+  if (retransmit_max_ > 0) dist_only("retransmit()");
+  if (shrink_on_rank_loss_) dist_only("shrink_on_rank_loss()");
   if (exchange_mode_ != GhostExchangeMode::kAuto) dist_only("exchange()");
   if (overlap_ != OverlapMode::kAuto) dist_only("overlap()");
   if (partition_ != graph::PartitionKind::kEvenEdges) dist_only("partition()");
@@ -141,7 +146,18 @@ std::string Result::to_json() const {
   out += ",\"injected_duplicates\":" + std::to_string(recovery.injected_duplicates);
   out += ",\"injected_corruptions\":" + std::to_string(recovery.injected_corruptions);
   out += ",\"injected_crashes\":" + std::to_string(recovery.injected_crashes);
-  out += "}}";
+  out += ",\"injected_losses\":" + std::to_string(recovery.injected_losses);
+  // The graduated-ladder telemetry (schema v3; docs/FAULT_TOLERANCE.md):
+  // rung 1 = link repair, rung 2 = verdicts, rung 3 = shrink-to-survivors.
+  out += ",\"ladder\":{\"nacks\":" + std::to_string(recovery.nacks);
+  out += ",\"retransmits\":" + std::to_string(recovery.retransmits);
+  out += ",\"backoff_ms\":" + std::to_string(recovery.backoff_ms);
+  out += ",\"escalations\":" + std::to_string(recovery.escalations);
+  out += ",\"slow_verdict_extensions\":" + std::to_string(recovery.slow_verdict_extensions);
+  out += ",\"verdicts_dead\":" + std::to_string(recovery.verdicts_dead);
+  out += ",\"shrinks\":" + std::to_string(recovery.shrinks);
+  out += ",\"final_ranks\":" + std::to_string(recovery.final_ranks);
+  out += "}}}";
   return out;
 }
 

@@ -177,6 +177,27 @@ struct Result {
     std::int64_t injected_duplicates{0};
     std::int64_t injected_corruptions{0};
     std::int64_t injected_crashes{0};
+    std::int64_t injected_losses{0};
+
+    /// The recovery ladder's own telemetry (manifest "recovery.ladder";
+    /// docs/FAULT_TOLERANCE.md). Rung 1 -- link-level repair, summed over
+    /// every attempt (successful and discarded): NACKs issued, payload
+    /// copies retransmitted, backoff milliseconds scheduled, and messages
+    /// whose retry budget ran out (each escalation surfaces as a
+    /// CommFailure and costs a restart).
+    std::int64_t nacks{0};
+    std::int64_t retransmits{0};
+    std::int64_t backoff_ms{0};
+    std::int64_t escalations{0};
+    /// Rung 2 -- verdicts: receive deadlines extended on slow-not-dead
+    /// evidence, and rank-dead verdicts the recovery driver received.
+    std::int64_t slow_verdict_extensions{0};
+    int verdicts_dead{0};
+    /// Rung 3 -- shrink-to-survivors: times the world shrank by one rank,
+    /// and the rank count that finished the job (== Plan::ranks when no
+    /// shrink happened; 0 for non-distributed engines).
+    int shrinks{0};
+    int final_ranks{0};
   };
   Recovery recovery;
 
@@ -184,7 +205,7 @@ struct Result {
   /// maintained by Session::update). The manifest's v2 "updates" section.
   core::UpdateTelemetry updates;
 
-  /// Machine-readable run manifest (schema "dlouvain-run-manifest/2"; see
+  /// Machine-readable run manifest (schema "dlouvain-run-manifest/3"; see
   /// docs/OBSERVABILITY.md). Valid JSON for every engine; the distributed
   /// engine adds counters, breakdown and per-phase detail. Same content
   /// `Plan::metrics(path)` writes to disk.
@@ -285,6 +306,26 @@ class Plan {
   /// restart up to `n` times -- from the newest checkpoint when
   /// checkpointing is on, from scratch otherwise. 0 = fail fast.
   Plan& max_restarts(int n) { max_restarts_ = n; return *this; }
+  /// Rung-1 link-level ARQ (docs/FAULT_TOLERANCE.md): retransmit a lost or
+  /// corrupted message up to `max` times per message, first retry after
+  /// `backoff_ms` (doubling per attempt, capped), before the link escalates
+  /// to a whole-run failure. 0 disables (detection-only, the old
+  /// behaviour). Never changes results: retransmitted copies are absorbed
+  /// by the sequence-number dedup layer bitwise-identically.
+  Plan& retransmit(int max, double backoff_ms = 1.0) {
+    retransmit_max_ = max;
+    retransmit_backoff_ms_ = backoff_ms;
+    return *this;
+  }
+  /// Rung-3 response to a rank-dead verdict: instead of retrying at the
+  /// same world size (which a permanently dead rank re-fails forever),
+  /// shrink to the survivors and resume at ranks-1 from the newest
+  /// checkpoint (from scratch without checkpointing). Each death consumes
+  /// one restart from the max_restarts() budget.
+  Plan& shrink_on_rank_loss(bool on = true) {
+    shrink_on_rank_loss_ = on;
+    return *this;
+  }
 
   // -- streaming updates (see docs/STREAMING.md) --------------------------
   /// Fallback threshold for Session::update: when a warm re-convergence
@@ -360,6 +401,9 @@ class Plan {
   double comm_timeout_{0};
   std::optional<comm::FaultPlan> faults_;
   int max_restarts_{0};
+  int retransmit_max_{0};
+  double retransmit_backoff_ms_{1.0};
+  bool shrink_on_rank_loss_{false};
   std::string trace_path_;
   std::string metrics_path_;
 };
@@ -414,8 +458,11 @@ class Session {
 
   Plan plan_;
   Result result_;
+  /// Ranks currently running the session: Plan::ranks at open, decremented
+  /// by every rung-3 shrink. Updates run at this size too.
+  int active_ranks_{0};
   /// Distributed engine: each rank's slice of the CURRENT fine graph,
-  /// mutated in place by update(); index = rank.
+  /// mutated in place by update(); index = rank (re-sized on shrink).
   std::vector<graph::DistGraph> rank_graphs_;
   /// Serial/shared engines: the current graph, rebuilt per update.
   graph::Csr csr_;

@@ -69,6 +69,8 @@ void Session::run_initial(const graph::Csr& g) {
       auto cfg = plan_.dist_config();
 
       options_.timeout_seconds = plan_.comm_timeout_;
+      options_.retransmit_max = plan_.retransmit_max_;
+      options_.retransmit_backoff_ms = plan_.retransmit_backoff_ms_;
       // One injector for the whole session: crash triggers are one-shot, so
       // a restarted attempt (and later updates) proceed past fired faults.
       if (plan_.faults_)
@@ -87,26 +89,104 @@ void Session::run_initial(const graph::Csr& g) {
                      .value_or(core::RunCounters{});
       }
 
-      rank_graphs_.assign(static_cast<std::size_t>(plan_.ranks_), {});
+      active_ranks_ = plan_.ranks_;
+
+      // Fold one attempt's arq.*/heartbeat.* counters into the ladder
+      // telemetry. Must run before options_.metrics is replaced.
+      const auto harvest_ladder = [&] {
+        const util::MetricsSnapshot t = options_.metrics->total();
+        result_.recovery.nacks += t[util::Counter::kArqNacks];
+        result_.recovery.retransmits += t[util::Counter::kArqRetransmits];
+        result_.recovery.backoff_ms += t[util::Counter::kArqBackoffMs];
+        result_.recovery.escalations += t[util::Counter::kArqEscalations];
+        result_.recovery.slow_verdict_extensions +=
+            t[util::Counter::kHeartbeatExtensions];
+      };
+      const auto harvest_injector = [&] {
+        if (!options_.faults) return;
+        result_.recovery.injected_delays = options_.faults->delayed.load();
+        result_.recovery.injected_duplicates = options_.faults->duplicated.load();
+        result_.recovery.injected_corruptions = options_.faults->corrupted.load();
+        result_.recovery.injected_crashes = options_.faults->crashes_fired.load();
+        result_.recovery.injected_losses = options_.faults->lost.load();
+      };
 
       // Recovery driver: on any detectable communication failure, restart --
       // from the newest checkpoint when checkpointing is on, from scratch
-      // otherwise -- up to max_restarts_ extra attempts.
+      // otherwise -- up to max_restarts_ extra attempts. A rank-DEAD verdict
+      // (rung 2) with shrink_on_rank_loss additionally drops the world to
+      // the survivors before resuming (rung 3).
       std::atomic<int> progress{-1};
+
+      // Bookkeeping for one DISCARDED attempt: replayed phases and wasted
+      // traffic. Runs for the final failed attempt too (before the rethrow),
+      // so a run that ultimately fails still reports honest waste.
+      const auto account_failed_attempt = [&] {
+        const int next_resume =
+            cfg.checkpoint.dir.empty()
+                ? 0
+                : core::checkpoint_latest_phase(cfg.checkpoint.dir).value_or(0);
+        // Phases [next_resume, progress] ran this attempt and will run
+        // again on the next one.
+        result_.recovery.phases_replayed +=
+            std::max(0, progress.load(std::memory_order_relaxed) + 1 - next_resume);
+
+        // Wasted = everything this attempt sent (algorithm + checkpoint
+        // I/O) minus what it banked into a checkpoint -- the banked part
+        // re-enters the final result through its restored counters.
+        const util::MetricsSnapshot spent = options_.metrics->total();
+        core::RunCounters now;
+        if (!cfg.checkpoint.dir.empty()) {
+          now = core::checkpoint_latest_counters(cfg.checkpoint.dir)
+                    .value_or(core::RunCounters{});
+        }
+        const std::int64_t banked_messages =
+            std::max<std::int64_t>(0, now.messages - banked.messages);
+        const std::int64_t banked_bytes =
+            std::max<std::int64_t>(0, now.bytes - banked.bytes);
+        result_.recovery.wasted_messages += std::max<std::int64_t>(
+            0, spent[util::Counter::kMessages] +
+                   spent[util::Counter::kCheckpointMessages] - banked_messages);
+        result_.recovery.wasted_bytes += std::max<std::int64_t>(
+            0, spent[util::Counter::kBytes] +
+                   spent[util::Counter::kCheckpointBytes] - banked_bytes);
+        banked = now;
+        harvest_ladder();
+      };
+      // Final-failure path: finish the books, persist what we know (best
+      // effort -- never mask the original exception), and let the caller's
+      // rethrow proceed.
+      const auto finalize_failure = [&](int attempt) {
+        result_.recovery.attempts = attempt + 1;
+        result_.recovery.final_ranks = active_ranks_;
+        harvest_injector();
+        try {
+          write_artifacts();
+        } catch (...) {
+        }
+      };
+      // Marker span in rank 0's ring (post-join, so single-writer safe):
+      // restarts and shrinks show up on the recovery timeline.
+      const auto mark = [&](const char* name, int attempt) {
+        if (options_.trace)
+          util::TraceSpan span(options_.trace->buffer(0), name, "recovery", attempt);
+      };
+
       for (int attempt = 0;; ++attempt) {
         progress.store(-1, std::memory_order_relaxed);
         // A FRESH registry per attempt: a discarded attempt's traffic is
         // accounted to recovery.wasted_*, never carried into the next
-        // attempt's counters.
-        options_.metrics = std::make_shared<util::MetricsRegistry>(plan_.ranks_);
+        // attempt's counters. Sized to the CURRENT world (shrinks resize).
+        options_.metrics = std::make_shared<util::MetricsRegistry>(active_ranks_);
+        // Retain this attempt's fine slices for update(): distinct
+        // elements, written by distinct rank-threads.
+        rank_graphs_.assign(static_cast<std::size_t>(active_ranks_), {});
         try {
           core::DistResult r;
           comm::run(
-              plan_.ranks_,
+              active_ranks_,
               [&](comm::Comm& comm) {
                 auto dist = graph::DistGraph::from_replicated(comm, g, plan_.partition_);
-                // Retain this rank's fine slice for update(): distinct
-                // elements, written by distinct rank-threads.
                 rank_graphs_[static_cast<std::size_t>(comm.rank())] = dist;
                 auto local = core::dist_louvain(comm, std::move(dist), cfg, &progress);
                 if (comm.rank() == 0) r = std::move(local);
@@ -114,51 +194,41 @@ void Session::run_initial(const graph::Csr& g) {
               options_);
           result_.recovery.attempts = attempt + 1;
           result_.recovery.resumed_from_phase = r.resumed_from_phase;
+          harvest_ladder();
           assign_scalars(result_, r);
           result_.distributed = std::move(r);
           break;
-        } catch (const comm::CommFailure&) {
-          if (attempt >= plan_.max_restarts_) throw;
-          const int next_resume =
-              cfg.checkpoint.dir.empty()
-                  ? 0
-                  : core::checkpoint_latest_phase(cfg.checkpoint.dir).value_or(0);
-          // Phases [next_resume, progress] ran this attempt and will run
-          // again on the next one.
-          result_.recovery.phases_replayed +=
-              std::max(0, progress.load(std::memory_order_relaxed) + 1 - next_resume);
-
-          // Wasted = everything this attempt sent (algorithm + checkpoint
-          // I/O) minus what it banked into a checkpoint -- the banked part
-          // re-enters the final result through its restored counters.
-          const util::MetricsSnapshot spent = options_.metrics->total();
-          core::RunCounters now;
-          if (!cfg.checkpoint.dir.empty()) {
-            now = core::checkpoint_latest_counters(cfg.checkpoint.dir)
-                      .value_or(core::RunCounters{});
+        } catch (const comm::RankDead& e) {
+          // Rung-2 verdict: a specific rank is permanently gone. Retrying at
+          // the same size would hit the same dead rank again; shrink to the
+          // survivors (rung 3) when allowed, give up otherwise.
+          account_failed_attempt();
+          result_.recovery.verdicts_dead += 1;
+          if (!plan_.shrink_on_rank_loss_ || active_ranks_ <= 1 ||
+              attempt >= plan_.max_restarts_) {
+            finalize_failure(attempt);
+            throw;
           }
-          const std::int64_t banked_messages =
-              std::max<std::int64_t>(0, now.messages - banked.messages);
-          const std::int64_t banked_bytes =
-              std::max<std::int64_t>(0, now.bytes - banked.bytes);
-          result_.recovery.wasted_messages += std::max<std::int64_t>(
-              0, spent[util::Counter::kMessages] +
-                     spent[util::Counter::kCheckpointMessages] - banked_messages);
-          result_.recovery.wasted_bytes += std::max<std::int64_t>(
-              0, spent[util::Counter::kBytes] +
-                     spent[util::Counter::kCheckpointBytes] - banked_bytes);
-          banked = now;
-
+          active_ranks_ -= 1;
+          result_.recovery.shrinks += 1;
+          // The dead hardware left the world: its kill trigger must not
+          // re-fire against the renumbered survivor ranks.
+          if (options_.faults) options_.faults->retire(e.rank);
           cfg.checkpoint.resume = !cfg.checkpoint.dir.empty();
+          mark("recovery_shrink", attempt);
+        } catch (const comm::CommFailure&) {
+          account_failed_attempt();
+          if (attempt >= plan_.max_restarts_) {
+            finalize_failure(attempt);
+            throw;
+          }
+          cfg.checkpoint.resume = !cfg.checkpoint.dir.empty();
+          mark("recovery_restart", attempt);
         }
       }
 
-      if (options_.faults) {
-        result_.recovery.injected_delays = options_.faults->delayed.load();
-        result_.recovery.injected_duplicates = options_.faults->duplicated.load();
-        result_.recovery.injected_corruptions = options_.faults->corrupted.load();
-        result_.recovery.injected_crashes = options_.faults->crashes_fired.load();
-      }
+      result_.recovery.final_ranks = active_ranks_;
+      harvest_injector();
       break;
     }
   }
@@ -232,11 +302,24 @@ UpdateStats Session::update_distributed(const EdgeBatch& batch) {
   long warm_iterations = 0;
   std::vector<graph::DistGraph> updated(rank_graphs_.size());
 
+  // Ladder telemetry keeps accumulating across updates: link-level repairs
+  // during a streaming batch count like any other.
+  const auto harvest_update_ladder = [&] {
+    const util::MetricsSnapshot t = options_.metrics->total();
+    result_.recovery.nacks += t[util::Counter::kArqNacks];
+    result_.recovery.retransmits += t[util::Counter::kArqRetransmits];
+    result_.recovery.backoff_ms += t[util::Counter::kArqBackoffMs];
+    result_.recovery.escalations += t[util::Counter::kArqEscalations];
+    result_.recovery.slow_verdict_extensions += t[util::Counter::kHeartbeatExtensions];
+  };
+
+  // Updates run at the session's CURRENT world size (shrunk sessions stay
+  // shrunk: the dead rank's hardware is still gone).
   for (int attempt = 0;; ++attempt) {
     try {
-      options_.metrics = std::make_shared<util::MetricsRegistry>(plan_.ranks_);
+      options_.metrics = std::make_shared<util::MetricsRegistry>(active_ranks_);
       comm::run(
-          plan_.ranks_,
+          active_ranks_,
           [&](comm::Comm& comm) {
             const auto rk = static_cast<std::size_t>(comm.rank());
             // Mutate a COPY; the session's graphs swap only after the whole
@@ -303,10 +386,12 @@ UpdateStats Session::update_distributed(const EdgeBatch& batch) {
           options_);
       break;
     } catch (const comm::CommFailure&) {
+      harvest_update_ladder();
       if (attempt >= plan_.max_restarts_) throw;
       result_.recovery.attempts += 1;
     }
   }
+  harvest_update_ladder();
 
   rank_graphs_ = std::move(updated);
   assign_scalars(result_, r);
@@ -316,6 +401,7 @@ UpdateStats Session::update_distributed(const EdgeBatch& batch) {
     result_.recovery.injected_duplicates = options_.faults->duplicated.load();
     result_.recovery.injected_corruptions = options_.faults->corrupted.load();
     result_.recovery.injected_crashes = options_.faults->crashes_fired.load();
+    result_.recovery.injected_losses = options_.faults->lost.load();
   }
 
   stats.vertices_reactivated = reactivated;

@@ -44,6 +44,11 @@ enum class Counter : int {
   kCheckpointMessages,    ///< messages reclassified as checkpoint save/load I/O
   kCheckpointBytes,       ///< payload bytes reclassified as checkpoint I/O
   kCheckpointFileBytes,   ///< bytes persisted to checkpoint files on disk
+  kArqNacks,              ///< rung-1 retransmit requests issued by receivers
+  kArqRetransmits,        ///< payload copies re-enqueued from the retained store
+  kArqBackoffMs,          ///< summed ARQ backoff milliseconds scheduled
+  kArqEscalations,        ///< messages whose link retry budget was exhausted
+  kHeartbeatExtensions,   ///< receive deadlines extended on slow-not-dead verdicts
   kCount
 };
 
@@ -63,6 +68,11 @@ inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kC
     case Counter::kCheckpointMessages: return "checkpoint.messages";
     case Counter::kCheckpointBytes: return "checkpoint.bytes";
     case Counter::kCheckpointFileBytes: return "checkpoint.file_bytes";
+    case Counter::kArqNacks: return "arq.nacks";
+    case Counter::kArqRetransmits: return "arq.retransmits";
+    case Counter::kArqBackoffMs: return "arq.backoff_ms";
+    case Counter::kArqEscalations: return "arq.escalations";
+    case Counter::kHeartbeatExtensions: return "heartbeat.slow_extensions";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -12,6 +12,12 @@
 //
 // A null TraceBuffer* disables a span entirely (two branch instructions), so
 // the trace-off hot path is unchanged.
+//
+// Span taxonomy note: alongside the timed phase/iteration spans, the Session
+// recovery driver records zero-length MARKER spans in the "recovery"
+// category ("recovery_restart", "recovery_shrink") with the attempt number
+// in the iteration field -- they make ladder escalations visible on the
+// trace timeline next to the work they interrupted (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <chrono>

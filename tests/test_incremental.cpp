@@ -389,6 +389,8 @@ TEST(PlanValidate, RejectsDistributedKnobsOnLocalEngines) {
                PlanError);
   EXPECT_THROW(Plan::serial().max_restarts(2).run(csr), PlanError);
   EXPECT_THROW(Plan::serial().comm_timeout(1.0).run(csr), PlanError);
+  EXPECT_THROW(Plan::serial().retransmit(3).run(csr), PlanError);
+  EXPECT_THROW(Plan::shared(2).shrink_on_rank_loss().run(csr), PlanError);
 }
 
 TEST(PlanValidate, RejectsOutOfRangeSettings) {
@@ -406,6 +408,11 @@ TEST(PlanValidate, RejectsOutOfRangeSettings) {
       PlanError);
   EXPECT_THROW(Plan::distributed(2).checkpointing("/tmp/x", 0).validate(), PlanError);
   EXPECT_THROW(Plan::distributed(2).vertex_following().validate(), PlanError);
+  EXPECT_THROW(Plan::distributed(2).retransmit(-1).validate(), PlanError);
+  EXPECT_THROW(Plan::distributed(2).retransmit(3, 0.0).validate(), PlanError);
+  EXPECT_THROW(Plan::distributed(2).retransmit(3, -2.0).validate(), PlanError);
+  EXPECT_NO_THROW(Plan::distributed(2).retransmit(0).validate());
+  EXPECT_NO_THROW(Plan::distributed(2).retransmit(5, 0.5).shrink_on_rank_loss().validate());
   EXPECT_NO_THROW(Plan::distributed(2).variant(dlouvain::Variant::kBaseline)
                       .alpha(7.0)  // unused by the baseline variant
                       .validate());
@@ -444,11 +451,11 @@ TEST(ManifestV2, UpdatesSectionAlwaysPresent) {
 
   const auto one_shot = Plan::distributed(2).run(csr);
   const auto json = one_shot.to_json();
-  EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/3\""), std::string::npos);
   EXPECT_NE(json.find("\"updates\":{\"batches_applied\":0"), std::string::npos);
 
   const auto serial_json = Plan::serial().run(csr).to_json();
-  EXPECT_NE(serial_json.find("\"schema\":\"dlouvain-run-manifest/2\""),
+  EXPECT_NE(serial_json.find("\"schema\":\"dlouvain-run-manifest/3\""),
             std::string::npos);
   EXPECT_NE(serial_json.find("\"updates\":{\"batches_applied\":0"), std::string::npos);
 }

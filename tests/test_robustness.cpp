@@ -7,6 +7,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <string>
 
@@ -529,6 +530,116 @@ TEST(FaultSweep, ExhaustedRestartBudgetRethrows) {
                    .max_restarts(0)
                    .run(g),
                dc::RankCrashed);
+}
+
+TEST(FaultSweep, ExhaustedBudgetStillAccountsTheFinalAttempt) {
+  // Regression (pre-ladder bug): when the restart budget ran out, the driver
+  // threw BEFORE booking the final attempt's replayed phases and wasted
+  // traffic, so a failed run's manifest under-reported its own cost. The
+  // rethrow must now come after the accounting, and the manifest must still
+  // be written (best-effort) so the waste is visible post-mortem.
+  const auto g = make_banded_graph();
+  const auto manifest =
+      std::filesystem::temp_directory_path() / "dl_failed_run_manifest.json";
+  std::filesystem::remove(manifest);
+  EXPECT_THROW((void)dlouvain::Plan::distributed(2)
+                   .inject_faults(dc::FaultPlan().crash(0, 0).crash(0, 0, 1))
+                   .max_restarts(1)
+                   .metrics(manifest.string())
+                   .run(g),
+               dc::RankCrashed);
+
+  ASSERT_TRUE(std::filesystem::exists(manifest)) << "failed run wrote no manifest";
+  std::ifstream in(manifest);
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const auto field = [&](const std::string& name) {
+    const auto pos = json.find("\"" + name + "\":");
+    EXPECT_NE(pos, std::string::npos) << name << " missing in:\n" << json;
+    return std::stoll(json.substr(pos + name.size() + 3));
+  };
+  EXPECT_EQ(field("attempts"), 2);       // both attempts counted...
+  EXPECT_GT(field("wasted_messages"), 0);  // ...and both attempts' traffic
+  EXPECT_GT(field("wasted_bytes"), 0);
+  EXPECT_EQ(field("injected_crashes"), 2);
+  std::filesystem::remove(manifest);
+}
+
+TEST(RecoveryLadder, LossAndCorruptionAbsorbedWithoutRestart) {
+  // Rung 1 under the full algorithm: a lossy, corrupting wire with an ARQ
+  // budget must produce the clean run's exact bits in ONE attempt -- the
+  // whole point of repairing at the link instead of restarting the job.
+  const auto g = make_banded_graph();
+  const auto reference = dlouvain::Plan::distributed(3).run(g);
+  const auto noisy = dlouvain::Plan::distributed(3)
+                         .retransmit(6, /*backoff_ms=*/0.2)
+                         .inject_faults(dc::FaultPlan()
+                                            .with_seed(9)
+                                            .lose(0.01)
+                                            .corrupt(0.01))
+                         .run(g);
+  EXPECT_EQ(noisy.community, reference.community);
+  EXPECT_EQ(noisy.modularity, reference.modularity);
+  EXPECT_EQ(noisy.recovery.attempts, 1);
+  EXPECT_GT(noisy.recovery.injected_losses + noisy.recovery.injected_corruptions, 0);
+  EXPECT_GE(noisy.recovery.retransmits, 1);
+  EXPECT_GE(noisy.recovery.nacks, noisy.recovery.retransmits);
+  EXPECT_EQ(noisy.recovery.escalations, 0);
+  EXPECT_EQ(noisy.recovery.shrinks, 0);
+  EXPECT_EQ(noisy.recovery.final_ranks, 3);
+}
+
+TEST(RecoveryLadder, RankDeathWithoutShrinkPropagates) {
+  // A permanent death with shrink disabled must NOT burn the restart budget
+  // retrying against dead hardware: the typed RankDead verdict surfaces on
+  // the first attempt.
+  const auto g = make_banded_graph();
+  try {
+    (void)dlouvain::Plan::distributed(2)
+        .inject_faults(dc::FaultPlan().kill(0, 0))
+        .max_restarts(3)
+        .run(g);
+    FAIL() << "expected RankDead";
+  } catch (const dc::RankDead& e) {
+    EXPECT_EQ(e.rank, 0);
+  }
+}
+
+TEST(RecoveryLadder, ShrinkToSurvivorsMatchesCleanResumeBitwise) {
+  // Rung 3 end to end. Stage one run to leave a phase-1 checkpoint, resume
+  // it cleanly at p-1 ranks (the reference trajectory); then run the ladder
+  // path -- permanent kill at phase 1, shrink enabled -- and require the
+  // SAME bits: a shrink resume is exactly a clean p-1 resume.
+  const auto g = make_lfr_graph();
+  const int p = 3;
+
+  const auto setup = fresh_dir("dl_shrink_setup");
+  EXPECT_THROW((void)dlouvain::Plan::distributed(p)
+                   .checkpointing(setup.string())
+                   .inject_faults(dc::FaultPlan().crash(1, 1))
+                   .max_restarts(0)
+                   .run(g),
+               dc::RankCrashed);
+  const auto reference =
+      dlouvain::Plan::distributed(p - 1).resume(setup.string()).run(g);
+  EXPECT_EQ(reference.recovery.resumed_from_phase, 1);
+
+  const auto dir = fresh_dir("dl_shrink_auto");
+  const auto result = dlouvain::Plan::distributed(p)
+                          .checkpointing(dir.string())
+                          .inject_faults(dc::FaultPlan().kill(1, 1))
+                          .shrink_on_rank_loss()
+                          .max_restarts(2)
+                          .run(g);
+  EXPECT_EQ(result.community, reference.community);
+  EXPECT_EQ(result.modularity, reference.modularity);
+  EXPECT_EQ(result.recovery.attempts, 2);
+  EXPECT_EQ(result.recovery.verdicts_dead, 1);
+  EXPECT_EQ(result.recovery.shrinks, 1);
+  EXPECT_EQ(result.recovery.final_ranks, p - 1);
+  EXPECT_EQ(result.recovery.resumed_from_phase, 1);
+  std::filesystem::remove_all(setup);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FaultSweep, LouvainSurvivesMessageDuplicationAndDelay) {

@@ -29,6 +29,15 @@ the kernel table: Session::update must be at least --min-update-speedup x
 faster than the from-scratch run on the same final graph, and the session's
 modularity must sit within --mod-tolerance of the from-scratch result.
 
+When the current results carry an `arq` section (the PR7 trail, produced by
+`micro_comm --pr7_json=...` or `--emit pr7 --bench build/bench/micro_comm`),
+the rung-1 link-layer contracts are checked: the ARQ-off baseline, ARQ-on
+clean, 0.1%-loss and 0.1%-corruption runs must all have produced identical
+bits, every injected fault must have been repaired by a retransmission, and
+no message may have exhausted the retry budget at the sub-threshold rate.
+Timing overheads are recorded in the trail but not asserted (wall clocks on
+shared hosts are noise).
+
 Exit code 0 = within bounds, 1 = regression or malformed input,
 2 = missing input file (e.g. the baseline was never committed).
 
@@ -72,6 +81,13 @@ MANIFEST_COUNTERS = (
     "pool.busy_seconds",
 )
 
+# v3 adds the recovery-ladder catalog entries (rung-1 ARQ and the rung-2
+# heartbeat lane); v1/v2 documents remain valid inputs without them.
+MANIFEST_COUNTERS_V3 = (
+    "arq.nacks", "arq.retransmits", "arq.backoff_ms", "arq.escalations",
+    "heartbeat.slow_extensions",
+)
+
 
 def check_manifest(manifest, failures):
     """Validate a --metrics-out run manifest; append problems to failures."""
@@ -92,7 +108,10 @@ def check_manifest(manifest, failures):
     if engine != "distributed":
         return  # serial/shared manifests carry no counters by design
     counters = manifest.get("counters", {})
-    for name in MANIFEST_COUNTERS:
+    required = MANIFEST_COUNTERS
+    if version.isdigit() and int(version) >= 3:
+        required = required + MANIFEST_COUNTERS_V3
+    for name in required:
         if name not in counters:
             failures.append(f"manifest counters missing '{name}'")
     restored = manifest.get("restored", {})
@@ -143,6 +162,53 @@ def check_overlap_ablation(ablation, min_hidden, failures):
             f"(floor {min_hidden:.0%})")
 
 
+def check_arq_section(arq, failures):
+    """Validate the PR7 rung-1 ARQ-overhead trail; append problems to failures.
+
+    The contracts are structural, not timing-based (wall clocks on a loaded
+    or single-core host are noise): (1) retransmission is a repair mechanism
+    only, so all four runs -- ARQ off, ARQ on clean, lossy, corrupting --
+    must have produced identical bits; (2) every injected drop costs at
+    least one retransmission (repair, never a silent skip); (3) faults at
+    the sub-threshold rate must never exhaust the retry budget.
+    """
+    for key in ("identical", "baseline_seconds", "clean_seconds",
+                "loss_seconds", "corrupt_seconds", "injected_losses",
+                "injected_corruptions", "retransmits_loss",
+                "retransmits_corrupt", "escalations"):
+        if key not in arq:
+            failures.append(f"arq section missing '{key}'")
+            return
+    print(f"arq trail: ranks={arq.get('ranks')} "
+          f"{arq.get('messages_per_rank')} msgs/rank  "
+          f"baseline {arq['baseline_seconds']:.3f}s, clean "
+          f"{arq['clean_seconds']:.3f}s, loss {arq['loss_seconds']:.3f}s "
+          f"({arq['injected_losses']} drops / {arq['retransmits_loss']} "
+          f"retransmits), corrupt {arq['corrupt_seconds']:.3f}s "
+          f"({arq['injected_corruptions']} hits / {arq['retransmits_corrupt']} "
+          f"retransmits)")
+    if arq["identical"] is not True:
+        failures.append("ARQ runs did not produce results identical to the "
+                        "clean baseline")
+    if arq["escalations"] != 0:
+        failures.append(
+            f"{arq['escalations']} message(s) exhausted the retransmit budget "
+            f"at the sub-threshold fault rate")
+    if arq["injected_losses"] > 0 and \
+            arq["retransmits_loss"] < arq["injected_losses"]:
+        failures.append(
+            f"only {arq['retransmits_loss']} retransmit(s) for "
+            f"{arq['injected_losses']} injected drop(s); every loss must be "
+            f"repaired by the link layer")
+    if arq["injected_corruptions"] > 0 and arq["retransmits_corrupt"] < 1:
+        failures.append(
+            f"{arq['injected_corruptions']} injected corruption(s) but no "
+            f"retransmissions; the checksum lane is not catching them")
+    if arq["injected_losses"] == 0 and arq["injected_corruptions"] == 0:
+        failures.append("fault scenarios injected nothing; the trail proves "
+                        "no repair happened (raise the stream volume)")
+
+
 def check_update_section(update, min_speedup, mod_tolerance, failures):
     """Validate the PR6 streaming-update trail; append problems to failures."""
     for key in ("speedup", "modularity_delta", "update_seconds_mean",
@@ -183,7 +249,8 @@ def main():
                         help="required hash/flat local-move ratio in the fresh run")
     parser.add_argument("--manifest",
                         help="also validate this --metrics-out run manifest")
-    parser.add_argument("--emit", choices=("pr3", "pr5", "pr6"), default="pr3",
+    parser.add_argument("--emit", choices=("pr3", "pr5", "pr6", "pr7"),
+                        default="pr3",
                         help="which trail --bench should produce (default pr3)")
     parser.add_argument("--ranks", type=int, default=8,
                         help="ranks for the pr5 overlap ablation / pr6 session")
@@ -219,6 +286,8 @@ def main():
                     f"--pr5_delay_ms={args.delay_ms}"]
         elif args.emit == "pr6":
             cmd += [f"--pr6_ranks={args.ranks}"]
+        elif args.emit == "pr7":
+            cmd += [f"--pr7_ranks={args.ranks}"]
         print("+", " ".join(cmd), flush=True)
         result = subprocess.run(cmd)
         if result.returncode != 0:
@@ -239,6 +308,8 @@ def main():
     if "update" in current:
         check_update_section(current["update"], args.min_update_speedup,
                              args.mod_tolerance, failures)
+    if "arq" in current:
+        check_arq_section(current["arq"], failures)
     base_kernels = baseline.get("kernels", {})
     curr_kernels = current.get("kernels", {})
     same_input = baseline.get("graph") == current.get("graph")

@@ -25,7 +25,19 @@
 //   --resume                       resume from the newest checkpoint in
 //                                  --checkpoint-dir
 //   --max-restarts <n>             restart attempts on comm failure (default 3)
-//   --crash r:ph[:it][,...]        inject deterministic rank crashes
+//   --crash r:ph[:it][,...]        inject transient rank crashes (fire once)
+//   --kill r:ph[:it][,...]         inject permanent rank deaths (re-fire
+//                                  every attempt until the rank is shrunk out)
+//   --lose <p>                     drop each message with probability p
+//   --corrupt <p>                  flip a payload bit with probability p
+//   --duplicate <p>                re-deliver each message with probability p
+//   --delay <p> [--delay-ms <ms>]  hold delivery back with probability p
+//   --fault-seed <n>               seed for the deterministic fate draws
+//   --retransmit <n>               link-level ARQ: retransmit lost/corrupt
+//                                  messages up to n times before escalating
+//   --retransmit-backoff-ms <x>    base backoff between retransmits
+//   --shrink-on-rank-loss          on a rank-dead verdict, resume from the
+//                                  newest checkpoint with the survivors
 //
 // observability (see docs/OBSERVABILITY.md):
 //   --trace-out <file>             write a Chrome trace_event JSON file
@@ -37,6 +49,7 @@
 //   dlouvain_cli --input graph.dlel --ranks 8 --threads 4 --output communities.txt
 //   dlouvain_cli --generate lfr-b --checkpoint-dir ckpt --crash 1:2 --max-restarts 3
 #include <charconv>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -56,9 +69,10 @@
 
 namespace {
 
-/// Parse "--crash r:ph[:it],r:ph[:it],..." into a FaultPlan.
-dlouvain::comm::FaultPlan parse_crashes(const std::string& spec) {
-  dlouvain::comm::FaultPlan plan;
+/// Parse "r:ph[:it],r:ph[:it],..." crash entries into `plan` -- transient
+/// crash() triggers for --crash, permanent kill() triggers for --kill.
+void parse_crashes(dlouvain::comm::FaultPlan& plan, const std::string& spec,
+                   bool permanent) {
   std::size_t pos = 0;
   while (pos < spec.size()) {
     const std::size_t comma = spec.find(',', pos);
@@ -83,11 +97,14 @@ dlouvain::comm::FaultPlan parse_crashes(const std::string& spec) {
     if (count < 2)
       throw std::runtime_error("bad --crash entry '" + entry +
                                "' (expected rank:phase[:iteration])");
-    plan.crash(fields[0], fields[1], fields[2]);
+    if (permanent) {
+      plan.kill(fields[0], fields[1], fields[2]);
+    } else {
+      plan.crash(fields[0], fields[1], fields[2]);
+    }
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  return plan;
 }
 
 int run_cli(int argc, char** argv) {
@@ -122,7 +139,27 @@ int run_cli(int argc, char** argv) {
   const int max_restarts = static_cast<int>(
       cli.get_int("max-restarts", 3, "restart attempts on comm failure"));
   const auto crash_spec =
-      cli.get_string("crash", "", "inject rank crashes: r:ph[:it][,...]");
+      cli.get_string("crash", "", "inject transient rank crashes: r:ph[:it][,...]");
+  const auto kill_spec =
+      cli.get_string("kill", "", "inject permanent rank deaths: r:ph[:it][,...]");
+  const double lose_p =
+      cli.get_double("lose", 0, "per-message drop probability");
+  const double corrupt_p =
+      cli.get_double("corrupt", 0, "per-message payload-corruption probability");
+  const double duplicate_p =
+      cli.get_double("duplicate", 0, "per-message duplication probability");
+  const double delay_p =
+      cli.get_double("delay", 0, "per-message delivery-delay probability");
+  const double delay_ms =
+      cli.get_double("delay-ms", 2.0, "visibility delay for delayed messages");
+  const auto fault_seed = static_cast<std::uint64_t>(
+      cli.get_int("fault-seed", 1, "seed for deterministic fault fates"));
+  const int retransmit = static_cast<int>(cli.get_int(
+      "retransmit", 0, "ARQ retransmit budget per message (0 = off)"));
+  const double retransmit_backoff_ms = cli.get_double(
+      "retransmit-backoff-ms", 1.0, "base backoff between retransmits");
+  const bool shrink_on_rank_loss = cli.get_flag(
+      "shrink-on-rank-loss", false, "resume with survivors on rank death");
   const auto trace_out =
       cli.get_string("trace-out", "", "write Chrome trace_event JSON here");
   const auto metrics_out =
@@ -208,10 +245,21 @@ int run_cli(int argc, char** argv) {
                   .exchange(*exchange)
                   .overlap(*overlap)
                   .comm_timeout(comm_timeout)
-                  .max_restarts(max_restarts);
+                  .max_restarts(max_restarts)
+                  .retransmit(retransmit, retransmit_backoff_ms)
+                  .shrink_on_rank_loss(shrink_on_rank_loss);
   if (!checkpoint_dir.empty()) plan.checkpointing(checkpoint_dir, checkpoint_every);
   if (resume) plan.resume(checkpoint_dir);
-  if (!crash_spec.empty()) plan.inject_faults(parse_crashes(crash_spec));
+  comm::FaultPlan faults;
+  faults.with_seed(fault_seed);
+  if (!crash_spec.empty()) parse_crashes(faults, crash_spec, /*permanent=*/false);
+  if (!kill_spec.empty()) parse_crashes(faults, kill_spec, /*permanent=*/true);
+  if (lose_p > 0) faults.lose(lose_p);
+  if (corrupt_p > 0) faults.corrupt(corrupt_p);
+  if (duplicate_p > 0) faults.duplicate(duplicate_p);
+  if (delay_p > 0) faults.delay(delay_p, delay_ms);
+  if (!faults.crashes.empty() || faults.injects_messages())
+    plan.inject_faults(faults);
   if (!trace_out.empty()) plan.trace(trace_out);
   if (!metrics_out.empty()) plan.metrics(metrics_out);
   const auto result = plan.run(csr);
@@ -238,6 +286,15 @@ int run_cli(int argc, char** argv) {
               << result.recovery.phases_replayed << " phase(s) replayed";
     if (result.recovery.resumed_from_phase >= 0)
       std::cout << ", resumed from phase " << result.recovery.resumed_from_phase;
+    std::cout << '\n';
+  }
+  if (result.recovery.retransmits > 0 || result.recovery.shrinks > 0) {
+    std::cout << "ladder:       " << result.recovery.retransmits
+              << " retransmit(s) (" << result.recovery.nacks << " NACKs, "
+              << result.recovery.escalations << " escalations)";
+    if (result.recovery.shrinks > 0)
+      std::cout << ", " << result.recovery.shrinks << " shrink(s) to "
+                << result.recovery.final_ranks << " rank(s)";
     std::cout << '\n';
   }
 

@@ -7,8 +7,9 @@ then checks:
   * the trace is Chrome trace_event JSON: a traceEvents list whose entries
     all carry name/ph/pid/ts, complete ("X") events carry dur, and at least
     --ranks distinct pids appear (one per simulated rank);
-  * the manifest matches the "dlouvain-run-manifest/1" schema and recorded
-    real traffic (comm.messages > 0 for a multi-rank run).
+  * the manifest matches the "dlouvain-run-manifest/N" schema (v2 adds the
+    streaming "updates" section, v3 the "recovery.ladder" object) and
+    recorded real traffic (comm.messages > 0 for a multi-rank run).
 
 Exit code 0 = both artifacts valid, 1 = validation failure, 2 = the CLI
 itself failed.
@@ -80,6 +81,11 @@ def check_manifest(path):
         updates = manifest.get("updates")
         if not isinstance(updates, dict) or "batches_applied" not in updates:
             fail(f"{path}: v2 manifest carries no updates object")
+    # v3 adds the recovery-ladder telemetry nested under recovery.
+    if version.isdigit() and int(version) >= 3:
+        ladder = manifest.get("recovery", {}).get("ladder")
+        if not isinstance(ladder, dict) or "retransmits" not in ladder:
+            fail(f"{path}: v3 manifest carries no recovery.ladder object")
     print(f"manifest ok: schema {schema}, "
           f"{counters['comm.messages']} messages")
 
