@@ -18,6 +18,15 @@
 // default 16), `--pr5_reps=N` (default 5), `--pr5_dist_scale=N` (ablation
 // RMAT scale, default 16), `--pr5_ranks=N` (default 8), `--pr5_delay_ms=X`
 // (simulated per-message wire latency for the headline rows, default 1.0).
+//
+// `--pr8_json=<path>` writes the BENCH_PR8.json trail (ISSUE 8): the kernel
+// table grows the segmented and SIMD sweep lanes (util/segmented.hpp)
+// against the flat gather kernel, and an `overlap_auto` section runs the
+// distributed algorithm under --overlap off/on/auto at zero and `delay_ms`
+// simulated wire latency -- auto's wall must land within tolerance of the
+// better forced mode, and its cost-model decision is recorded. Knobs mirror
+// pr5: `--pr8_scale`, `--pr8_reps`, `--pr8_dist_scale`, `--pr8_ranks`,
+// `--pr8_delay_ms`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -40,6 +49,7 @@
 #include "louvain/serial.hpp"
 #include "louvain/shared.hpp"
 #include "util/scatter.hpp"
+#include "util/segmented.hpp"
 
 namespace {
 
@@ -169,6 +179,73 @@ std::int64_t sweep_flat(const SweepInput& in, std::vector<CommunityId>& curr,
   return moved;
 }
 
+/// The segmented/SIMD lanes of the same sweep (ISSUE 8): arcs grouped by
+/// destination-community segment in first-touch order, argmax via
+/// util::best_segment. Bitwise identical to sweep_flat by construction --
+/// `moved` doubles as the cross-check.
+std::int64_t sweep_segmented(const SweepInput& in, std::vector<CommunityId>& curr,
+                             std::vector<Weight>& a, util::SweepLane lane) {
+  const VertexId n = in.csr.num_vertices();
+  const Weight m = in.m;
+  util::SegmentedAccumulator<Weight> nbr_weight;
+  std::int64_t moved = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const CommunityId own = curr[static_cast<std::size_t>(v)];
+    const Weight kv = in.k[static_cast<std::size_t>(v)];
+    nbr_weight.reset(static_cast<std::size_t>(n));
+    for (const auto& e : in.csr.neighbors(v)) {
+      if (e.dst == v) continue;
+      nbr_weight.add(curr[static_cast<std::size_t>(e.dst)], e.weight);
+    }
+    const Weight e_own = nbr_weight.sum_of(own);
+    const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
+    const auto pick = util::best_segment(
+        lane, nbr_weight, nbr_weight.segment_of(own), e_own, a_own_less_v, kv,
+        m, 1.0,
+        [&](std::int64_t slot) { return a[static_cast<std::size_t>(slot)]; },
+        [](std::int64_t slot) { return static_cast<CommunityId>(slot); });
+    const CommunityId best =
+        pick.segment >= 0
+            ? nbr_weight.slots()[static_cast<std::size_t>(pick.segment)]
+            : own;
+    if (best != own) {
+      a[static_cast<std::size_t>(own)] -= kv;
+      a[static_cast<std::size_t>(best)] += kv;
+      curr[static_cast<std::size_t>(v)] = best;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+/// Round-robin the kernels inside a single rep loop so every kernel samples
+/// the same slice of host noise (on a shared vCPU, consecutive per-kernel rep
+/// blocks can land in different steal/frequency windows and skew the ratios
+/// by 30%+). Per-kernel minimum across reps, as in timed_sweep.
+struct InterleavedKernel {
+  std::int64_t (*sweep)(const SweepInput&, std::vector<CommunityId>&,
+                        std::vector<Weight>&);
+  double best_ns = 1e300;
+  std::int64_t moved = 0;
+};
+
+void timed_sweep_interleaved(const SweepInput& in, int reps,
+                             std::vector<InterleavedKernel>& kernels) {
+  std::vector<CommunityId> curr(in.k.size());
+  std::vector<Weight> a;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (auto& k : kernels) {
+      std::iota(curr.begin(), curr.end(), CommunityId{0});
+      a = in.a_init;
+      const auto t0 = std::chrono::steady_clock::now();
+      k.moved = k.sweep(in, curr, a);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+      if (ns < k.best_ns) k.best_ns = ns;
+    }
+  }
+}
+
 template <typename Sweep>
 std::int64_t timed_sweep(const SweepInput& in, Sweep&& sweep, int reps,
                          double& best_ns) {
@@ -287,6 +364,33 @@ void BM_LocalMoveSweepFlat(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * in.csr.num_arcs());
 }
 BENCHMARK(BM_LocalMoveSweepFlat)->Arg(10)->Arg(12);
+
+void BM_LocalMoveSweepSegmented(benchmark::State& state) {
+  const auto in = make_sweep_input(rmat_graph(static_cast<int>(state.range(0))));
+  std::vector<CommunityId> curr(in.k.size());
+  std::vector<Weight> a;
+  for (auto _ : state) {
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    benchmark::DoNotOptimize(
+        sweep_segmented(in, curr, a, util::SweepLane::kSegmented));
+  }
+  state.SetItemsProcessed(state.iterations() * in.csr.num_arcs());
+}
+BENCHMARK(BM_LocalMoveSweepSegmented)->Arg(10)->Arg(12);
+
+void BM_LocalMoveSweepSimd(benchmark::State& state) {
+  const auto in = make_sweep_input(rmat_graph(static_cast<int>(state.range(0))));
+  std::vector<CommunityId> curr(in.k.size());
+  std::vector<Weight> a;
+  for (auto _ : state) {
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    benchmark::DoNotOptimize(sweep_segmented(in, curr, a, util::SweepLane::kSimd));
+  }
+  state.SetItemsProcessed(state.iterations() * in.csr.num_arcs());
+}
+BENCHMARK(BM_LocalMoveSweepSimd)->Arg(10)->Arg(12);
 
 // ---- the BENCH_PR3/PR5 json emitters ----------------------------------------
 
@@ -546,11 +650,193 @@ int run_pr5(const std::string& json_path, int scale, int reps, int dist_scale,
   return 0;
 }
 
+// ---- the BENCH_PR8.json emitter (sweep lanes + overlap cost model) ----------
+
+/// Minimum-wall distributed run: the usual best-of-N timing estimator. The
+/// pr8 section compares WALLS across modes, so every mode is ranked the same
+/// way (unlike pr5, which ranks overlap-on reps by hidden fraction).
+core::DistResult min_wall_dist_run(const graph::Csr& csr, int ranks,
+                                   core::OverlapMode mode, double delay_ms,
+                                   int reps) {
+  core::DistResult best;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto r = dist_run(csr, ranks, mode, delay_ms);
+    if (rep == 0 || r.seconds < best.seconds) best = std::move(r);
+  }
+  return best;
+}
+
+/// One delay point of the overlap_auto section: the same run forced off,
+/// forced on, and under the cost model.
+struct AutoPoint {
+  core::DistResult off;
+  core::DistResult on;
+  core::DistResult automatic;
+};
+
+void emit_auto_point(std::ostream& out, const char* key, const AutoPoint& p) {
+  const auto& t = p.automatic.overlap;
+  out << "    \"" << key << "\": {\n"
+      << "      \"off_seconds\": " << p.off.seconds
+      << ", \"on_seconds\": " << p.on.seconds
+      << ", \"auto_seconds\": " << p.automatic.seconds << ",\n"
+      << "      \"auto_decision\": \"" << t.decision << "\""
+      << ", \"auto_decided\": " << (t.decided ? "true" : "false")
+      << ", \"auto_predicted_hidden_s\": " << t.predicted_hidden_s
+      << ", \"auto_measured_latency_s\": " << t.measured_latency_s
+      << ", \"auto_probe_iterations_off\": " << t.probe_iterations_off
+      << ", \"auto_probe_iterations_on\": " << t.probe_iterations_on
+      << ", \"auto_phases_engaged\": " << t.phases_engaged
+      << ", \"auto_phases_declined\": " << t.phases_declined << "\n"
+      << "    }";
+}
+
+int run_pr8(const std::string& json_path, int scale, int reps, int dist_scale,
+            int ranks, double delay_ms) {
+  const auto g = rmat_graph(scale);
+  const auto in = make_sweep_input(g);
+  const auto arcs = static_cast<double>(in.csr.num_arcs());
+
+  // All four sweep kernels interleaved in one rep loop: the flat gather
+  // baseline and the lane kernels sample the same host-noise window, so the
+  // reported ratios reflect the kernels, not vCPU steal drift between rep
+  // blocks. Same sweep, same moves -- any divergence is a lane bug.
+  std::vector<InterleavedKernel> iks(4);
+  iks[0].sweep = sweep_hash;
+  iks[1].sweep = sweep_flat;
+  iks[2].sweep = [](const SweepInput& i, std::vector<CommunityId>& c,
+                    std::vector<Weight>& a) {
+    return sweep_segmented(i, c, a, util::SweepLane::kSegmented);
+  };
+  iks[3].sweep = [](const SweepInput& i, std::vector<CommunityId>& c,
+                    std::vector<Weight>& a) {
+    return sweep_segmented(i, c, a, util::SweepLane::kSimd);
+  };
+  timed_sweep_interleaved(in, reps, iks);
+
+  KernelNumbers kn;
+  kn.hash_ns = iks[0].best_ns;
+  kn.flat_ns = iks[1].best_ns;
+  kn.moved = iks[1].moved;
+  const double segmented_ns = iks[2].best_ns;
+  const double simd_ns = iks[3].best_ns;
+  const auto segmented_moved = iks[2].moved;
+  const auto simd_moved = iks[3].moved;
+  if (iks[0].moved != kn.moved || segmented_moved != kn.moved ||
+      simd_moved != kn.moved) {
+    std::cerr << "micro_kernels: sweep lanes diverged (hash " << iks[0].moved
+              << ", flat " << kn.moved << ", segmented " << segmented_moved
+              << ", simd " << simd_moved << " moves)\n";
+    return 1;
+  }
+  const double best_lane_ns = std::min(segmented_ns, simd_ns);
+  {
+    // Coarsen by the sweep's resulting assignment (compacted ids).
+    std::vector<CommunityId> curr(in.k.size());
+    std::vector<Weight> a;
+    std::iota(curr.begin(), curr.end(), CommunityId{0});
+    a = in.a_init;
+    sweep_flat(in, curr, a);
+    kn.coarsen_ns = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto coarse = louvain::coarsen(in.csr, curr);
+      benchmark::DoNotOptimize(coarse);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+      if (ns < kn.coarsen_ns) kn.coarsen_ns = ns;
+    }
+  }
+
+  // The overlap cost model end to end: off / on / auto at zero simulated
+  // latency and at `delay_ms` per message. All six runs must agree bitwise
+  // (the knob only moves the blocking waits); auto's wall is recorded for
+  // the within-tolerance-of-min(on, off) acceptance bar, and its decision +
+  // model inputs land in the trail (the same fields the v4 manifest
+  // carries).
+  const auto gd = rmat_graph(dist_scale);
+  const auto csrd = graph::from_edges(gd.num_vertices, gd.edges);
+  AutoPoint zero;
+  zero.off = min_wall_dist_run(csrd, ranks, core::OverlapMode::kOff, 0, reps);
+  zero.on = min_wall_dist_run(csrd, ranks, core::OverlapMode::kOn, 0, reps);
+  zero.automatic = min_wall_dist_run(csrd, ranks, core::OverlapMode::kAuto, 0, reps);
+  AutoPoint delayed;
+  delayed.off = min_wall_dist_run(csrd, ranks, core::OverlapMode::kOff, delay_ms, reps);
+  delayed.on = min_wall_dist_run(csrd, ranks, core::OverlapMode::kOn, delay_ms, reps);
+  delayed.automatic =
+      min_wall_dist_run(csrd, ranks, core::OverlapMode::kAuto, delay_ms, reps);
+  for (const auto* r : {&zero.on, &zero.automatic, &delayed.off, &delayed.on,
+                        &delayed.automatic}) {
+    if (zero.off.community != r->community || zero.off.modularity != r->modularity) {
+      std::cerr << "micro_kernels: overlap mode runs diverged (Q "
+                << zero.off.modularity << " vs " << r->modularity << ")\n";
+      return 1;
+    }
+  }
+
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "micro_kernels: cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  out.precision(17);
+  out << "{\n"
+      << "  \"bench\": \"micro_kernels.pr8\",\n"
+      << "  \"graph\": {\"kind\": \"rmat\", \"scale\": " << scale
+      << ", \"edges_per_vertex\": 8, \"seed\": 42, \"vertices\": "
+      << in.csr.num_vertices() << ", \"arcs\": " << in.csr.num_arcs() << "},\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"kernels\": {\n"
+      << "    \"local_move_hash\": {\"ns_per_op\": " << kn.hash_ns
+      << ", \"ns_per_arc\": " << kn.hash_ns / arcs << ", \"moved\": " << kn.moved
+      << "},\n"
+      << "    \"local_move_flat\": {\"ns_per_op\": " << kn.flat_ns
+      << ", \"ns_per_arc\": " << kn.flat_ns / arcs << ", \"moved\": " << kn.moved
+      << "},\n"
+      << "    \"local_move_segmented\": {\"ns_per_op\": " << segmented_ns
+      << ", \"ns_per_arc\": " << segmented_ns / arcs
+      << ", \"moved\": " << segmented_moved << "},\n"
+      << "    \"local_move_simd\": {\"ns_per_op\": " << simd_ns
+      << ", \"ns_per_arc\": " << simd_ns / arcs << ", \"moved\": " << simd_moved
+      << "},\n"
+      << "    \"coarsen_flat\": {\"ns_per_op\": " << kn.coarsen_ns
+      << ", \"ns_per_arc\": " << kn.coarsen_ns / arcs << "}\n"
+      << "  },\n"
+      << "  \"ratios\": {\"local_move_hash_over_flat\": " << kn.hash_ns / kn.flat_ns
+      << ", \"flat_over_segmented\": " << kn.flat_ns / segmented_ns
+      << ", \"flat_over_simd\": " << kn.flat_ns / simd_ns
+      << ", \"flat_over_best_lane\": " << kn.flat_ns / best_lane_ns << "},\n"
+      << "  \"overlap_auto\": {\n"
+      << "    \"ranks\": " << ranks << ", \"scale\": " << dist_scale
+      << ", \"reps\": " << reps << ", \"delay_ms\": " << delay_ms << ",\n"
+      << "    \"identical\": true,\n";
+  emit_auto_point(out, "zero_latency", zero);
+  out << ",\n";
+  emit_auto_point(out, "delayed", delayed);
+  out << "\n  }\n}\n";
+
+  std::cout << "local_move_flat:      " << kn.flat_ns / arcs << " ns/arc\n"
+            << "local_move_segmented: " << segmented_ns / arcs << " ns/arc ("
+            << kn.flat_ns / segmented_ns << "x over flat)\n"
+            << "local_move_simd:      " << simd_ns / arcs << " ns/arc ("
+            << kn.flat_ns / simd_ns << "x over flat)\n"
+            << "overlap auto, zero latency:  off " << zero.off.seconds << " s, on "
+            << zero.on.seconds << " s, auto " << zero.automatic.seconds << " s ("
+            << zero.automatic.overlap.decision << ")\n"
+            << "overlap auto, " << delay_ms << " ms delay: off "
+            << delayed.off.seconds << " s, on " << delayed.on.seconds
+            << " s, auto " << delayed.automatic.seconds << " s ("
+            << delayed.automatic.overlap.decision << ")\n"
+            << "wrote " << json_path << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string pr3_path;
   std::string pr5_path;
+  std::string pr8_path;
   int scale = 16;
   int reps = 5;
   int dist_scale = 12;
@@ -565,22 +851,34 @@ int main(int argc, char** argv) {
       pr3_path = arg.substr(std::strlen("--pr3_json="));
     } else if (arg.rfind("--pr5_json=", 0) == 0) {
       pr5_path = arg.substr(std::strlen("--pr5_json="));
+    } else if (arg.rfind("--pr8_json=", 0) == 0) {
+      pr8_path = arg.substr(std::strlen("--pr8_json="));
     } else if (arg.rfind("--pr3_scale=", 0) == 0) {
       scale = std::stoi(arg.substr(std::strlen("--pr3_scale=")));
     } else if (arg.rfind("--pr5_scale=", 0) == 0) {
       scale = std::stoi(arg.substr(std::strlen("--pr5_scale=")));
+    } else if (arg.rfind("--pr8_scale=", 0) == 0) {
+      scale = std::stoi(arg.substr(std::strlen("--pr8_scale=")));
     } else if (arg.rfind("--pr3_reps=", 0) == 0) {
       reps = std::stoi(arg.substr(std::strlen("--pr3_reps=")));
     } else if (arg.rfind("--pr5_reps=", 0) == 0) {
       reps = std::stoi(arg.substr(std::strlen("--pr5_reps=")));
+    } else if (arg.rfind("--pr8_reps=", 0) == 0) {
+      reps = std::stoi(arg.substr(std::strlen("--pr8_reps=")));
     } else if (arg.rfind("--pr3_dist_scale=", 0) == 0) {
       dist_scale = std::stoi(arg.substr(std::strlen("--pr3_dist_scale=")));
     } else if (arg.rfind("--pr5_dist_scale=", 0) == 0) {
       pr5_dist_scale = std::stoi(arg.substr(std::strlen("--pr5_dist_scale=")));
+    } else if (arg.rfind("--pr8_dist_scale=", 0) == 0) {
+      pr5_dist_scale = std::stoi(arg.substr(std::strlen("--pr8_dist_scale=")));
     } else if (arg.rfind("--pr5_ranks=", 0) == 0) {
       ranks = std::stoi(arg.substr(std::strlen("--pr5_ranks=")));
+    } else if (arg.rfind("--pr8_ranks=", 0) == 0) {
+      ranks = std::stoi(arg.substr(std::strlen("--pr8_ranks=")));
     } else if (arg.rfind("--pr5_delay_ms=", 0) == 0) {
       delay_ms = std::stod(arg.substr(std::strlen("--pr5_delay_ms=")));
+    } else if (arg.rfind("--pr8_delay_ms=", 0) == 0) {
+      delay_ms = std::stod(arg.substr(std::strlen("--pr8_delay_ms=")));
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -588,6 +886,8 @@ int main(int argc, char** argv) {
   if (!pr3_path.empty()) return run_pr3(pr3_path, scale, reps, dist_scale);
   if (!pr5_path.empty())
     return run_pr5(pr5_path, scale, reps, pr5_dist_scale, ranks, delay_ms);
+  if (!pr8_path.empty())
+    return run_pr8(pr8_path, scale, reps, pr5_dist_scale, ranks, delay_ms);
 
   int pargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pargc, passthrough.data());

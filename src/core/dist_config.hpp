@@ -78,6 +78,16 @@ struct DistConfig {
   /// fingerprint, like ghost_exchange_mode.
   OverlapMode overlap{OverlapMode::kAuto};
 
+  /// kAuto's measured cost model (core/overlap_model.hpp): probe iterations
+  /// sampled per stage (OFF first, then -- only if the OFF samples predict
+  /// hidable time -- ON) before the model locks its verdict. Like
+  /// `overlap`, never changes results; excluded from the fingerprint.
+  int overlap_probe_iters{2};
+
+  /// kAuto's engagement floor: when the OFF probe predicts fewer hidable
+  /// seconds per iteration than this, auto declines without probing ON.
+  double overlap_min_hidden_s{100e-6};
+
   /// Process vertices color class by color class (distributed distance-1
   /// coloring, recomputed per phase) so concurrently-deciding vertices are
   /// mutually non-adjacent -- the paper's Section VI future-work heuristic,

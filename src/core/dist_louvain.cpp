@@ -7,12 +7,13 @@
 #include "core/coloring.hpp"
 #include "core/community_state.hpp"
 #include "core/ghost_exchange.hpp"
+#include "core/overlap_model.hpp"
 #include "core/rebuild.hpp"
 #include "louvain/early_term.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
-#include "util/scatter.hpp"
+#include "util/segmented.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -120,7 +121,9 @@ struct PhaseResult {
 PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
                       const DistConfig& cfg, int phase, double tau,
                       util::ThreadPool& pool, PhaseTimers& timers,
-                      PhaseTelemetry& telemetry, const WarmStart* warm = nullptr) {
+                      PhaseTelemetry& telemetry,
+                      OverlapCostModel* overlap_model = nullptr,
+                      const WarmStart* warm = nullptr) {
   const VertexId local_n = g.local_count();
   const VertexId global_n = g.global_n();
   const Weight two_m = g.total_weight();
@@ -174,19 +177,40 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   const auto& arcs = g.local().edges();
   const auto& dst_slot = g.dst_slots();
 
-  // One flat e_{v -> c} scatter per pool thread, keyed by ledger slot and
-  // reused across vertices, batches and iterations (the generation-stamped
-  // replacement for the per-vertex unordered_map).
-  std::vector<util::ScatterAccumulator<Weight>> scatter(
+  // One segmented e_{v -> c} reduction per pool thread, keyed by ledger
+  // slot and reused across vertices, batches and iterations. The lane is
+  // captured once per phase (mid-run overrides land on the next phase);
+  // every lane is bitwise identical to the historical flat scatter
+  // (util/segmented.hpp).
+  const util::SweepLane lane = util::sweep_lane();
+  std::vector<util::SegmentedAccumulator<Weight>> scatter(
       static_cast<std::size_t>(pool.num_threads()));
 
-  // Resolve the overlap knob once per phase: auto = on exactly when there is
-  // someone to exchange with. Never changes results (see overlap_mode.hpp);
-  // the schedule below is identical either way, only the waits move.
-  const bool overlap_on = cfg.overlap == OverlapMode::kOn ||
-                          (cfg.overlap == OverlapMode::kAuto && comm.size() > 1);
-  const GhostExchangeConfig xcfg{cfg.use_neighbor_exchange, cfg.ghost_exchange_mode,
-                                 cfg.delta_exchange_crossover, overlap_on};
+  // Resolve the overlap knob per ITERATION: forced modes are constant,
+  // kAuto asks the measured cost model (overlap_model.hpp) -- OFF until the
+  // model warms up (the measured-faster default per BENCH_PR5), an ON probe
+  // only when the OFF samples predict hidable time, then the locked
+  // verdict. Never changes results (see overlap_mode.hpp); the schedule
+  // below is identical either way, only the waits move, so per-iteration
+  // switching is bitwise-safe.
+  const auto overlap_now = [&cfg, overlap_model] {
+    switch (cfg.overlap) {
+      case OverlapMode::kOn: return true;
+      case OverlapMode::kOff: return false;
+      case OverlapMode::kAuto:
+        return overlap_model != nullptr && overlap_model->want_overlap();
+    }
+    return false;
+  };
+  const auto make_xcfg = [&cfg](bool on) {
+    return GhostExchangeConfig{cfg.use_neighbor_exchange, cfg.ghost_exchange_mode,
+                               cfg.delta_exchange_crossover, on};
+  };
+  // The warm-adoption exchanges before the loop and the phase-final push
+  // after it pair begin+finish back to back, so the flag is inert there;
+  // they reuse whatever the current resolution is.
+  GhostExchangeConfig xcfg = make_xcfg(overlap_now());
+  bool phase_ran_overlap = false;
 
   // -- Warm start (incremental updates): adopt the seeded assignment -------
   // Every vertex moves from its singleton into its seed community through
@@ -332,6 +356,19 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     // (phase, iter) fires here, before any of the iteration's collectives.
     comm.fault_point(phase, iter);
     const util::TraceSpan iter_span(tb, "iteration", "iteration", phase, iter);
+    // This iteration's overlap resolution, and -- while the kAuto model is
+    // still warming up -- the probe instrumentation feeding it: blocked
+    // exchange wall (latency), interior sweep wall, hidden latency, and the
+    // iteration wall, each as a delta over this iteration.
+    const bool overlap_on = overlap_now();
+    xcfg = make_xcfg(overlap_on);
+    phase_ran_overlap = phase_ran_overlap || overlap_on;
+    const bool probing = overlap_model != nullptr && overlap_model->probing();
+    const util::WallTimer probe_wall;
+    const double probe_ghost0 = timers.ghost.seconds();
+    const double probe_delta0 = timers.delta.seconds();
+    const double probe_hidden0 = timers.comm_hidden;
+    double probe_interior = 0;
     std::int64_t local_active = 0;
     std::int64_t local_moved = 0;
     std::fill(moved.begin(), moved.end(), 0);
@@ -417,7 +454,9 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
 
             // e_{v -> c} over ledger slots: per arc, two array reads (the
             // precomputed destination slot, then its community's slot
-            // mirror) and a stamped flat accumulate.
+            // mirror) and a stamped segmented accumulate -- arcs group by
+            // destination-community slot in first-touch order, each
+            // segment summed in scan order (bitwise == the flat path).
             nbr_weight.reset(slot_cap);
             const auto a_end = static_cast<std::size_t>(row[lvi + 1]);
             for (auto a = static_cast<std::size_t>(row[lvi]); a < a_end; ++a) {
@@ -430,36 +469,26 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
                   e.weight);
             }
 
-            const Weight e_own = nbr_weight.get(own_slot);
+            const Weight e_own = nbr_weight.sum_of(own_slot);
             const Weight a_own_less_v =
                 state.ledger.info_by_slot(own_slot).degree - kv;
 
-            // Argmax over the touched slots. The selection (max gain,
-            // strictly positive, smallest community id on ties) does not
-            // depend on visit order, so first-touch order here picks the
-            // same winner the hash-map iteration did.
+            // ∆Q argmax over the dense segment arrays. The selection (max
+            // gain, strictly positive, smallest community id on ties) does
+            // not depend on visit order, so every lane picks the same
+            // winner the hash-map iteration did.
+            const auto pick = util::best_segment(
+                lane, nbr_weight, nbr_weight.segment_of(own_slot), e_own,
+                a_own_less_v, kv, m, gamma,
+                [&](std::int64_t slot) {
+                  return state.ledger.info_by_slot(slot).degree;
+                },
+                [&](std::int64_t slot) { return state.ledger.id_of_slot(slot); });
             CommunityId best = own;
             std::int64_t best_slot = own_slot;
-            Weight best_gain = 0;
-            for (const std::int64_t target_slot : nbr_weight.touched()) {
-              if (target_slot == own_slot) continue;
-              const Weight e_target = nbr_weight.get(target_slot);
-              const Weight gain =
-                  (e_target - e_own) / m -
-                  gamma * kv *
-                      (state.ledger.info_by_slot(target_slot).degree - a_own_less_v) /
-                      (2 * m * m);
-              if (gain > best_gain) {
-                best = state.ledger.id_of_slot(target_slot);
-                best_slot = target_slot;
-                best_gain = gain;
-              } else if (gain == best_gain && gain > 0 && best != own) {
-                const CommunityId target = state.ledger.id_of_slot(target_slot);
-                if (target < best) {
-                  best = target;
-                  best_slot = target_slot;
-                }
-              }
+            if (pick.segment >= 0) {
+              best_slot = nbr_weight.slots()[static_cast<std::size_t>(pick.segment)];
+              best = state.ledger.id_of_slot(best_slot);
             }
 
             // Singleton-swap guard (same rationale as the shared-memory
@@ -509,11 +538,13 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
     {
       util::ScopedAccum scope(timers.compute);
       const util::TraceSpan span(tb, "overlap_interior", "overlap", phase, iter);
+      const util::WallTimer interior_timer;
       pool.reset_busy();
       run_batches(0, split_batch, static_cast<std::size_t>(state.ledger.slot_count()));
       const double busy = pool.busy_seconds();
       timers.compute_busy += busy;
       comm.counters().busy_seconds += busy;
+      probe_interior += interior_timer.seconds();
     }
 
     // (iii) complete the exchange: drain peer buffers in arrival order,
@@ -623,6 +654,29 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
       }
     }
 
+    // Feed the kAuto cost model one rank-identical aggregate sample (mean
+    // over ranks) of this iteration's measurements. Bounded work: at most
+    // 2 * overlap_probe_iters iterations per run ever take this collective,
+    // after which probing() stays false for good.
+    if (probing) {
+      util::ScopedAccum scope(timers.allreduce);
+      const util::TraceSpan span(tb, "overlap_probe", "overlap", phase, iter);
+      // Probe traffic is model overhead, not algorithm work: reclassify it
+      // (like checkpoint I/O) so Result::messages/bytes stay comparable
+      // across modes and across clean vs resumed runs (a resume re-probes).
+      const util::TrafficReclassScope reclass(
+          comm.counters(), util::Counter::kOverlapProbeMessages,
+          util::Counter::kOverlapProbeBytes);
+      const double latency = (timers.ghost.seconds() - probe_ghost0) +
+                             (timers.delta.seconds() - probe_delta0);
+      const auto sums = comm.allreduce_sum_vec<double>(
+          {latency, probe_interior, timers.comm_hidden - probe_hidden0,
+           probe_wall.seconds()});
+      const auto nr = static_cast<double>(comm.size());
+      overlap_model->record(OverlapSample{sums[0] / nr, sums[1] / nr,
+                                          sums[2] / nr, sums[3] / nr});
+    }
+
     // ET probability updates (Eq. 3) happen after the iteration's outcome is
     // known, for every vertex -- participation does not matter, staying put
     // does. (With warm alpha 0 this is a no-op for the frozen set and keeps
@@ -691,6 +745,7 @@ PhaseResult run_phase(comm::Comm& comm, const graph::DistGraph& g,
   telemetry.breakdown.delta_exchange = timers.delta.seconds();
   telemetry.breakdown.allreduce = timers.allreduce.seconds();
   telemetry.breakdown.comm_hidden = timers.comm_hidden;
+  if (overlap_model != nullptr) overlap_model->note_phase(phase_ran_overlap);
   return state;
 }
 
@@ -710,6 +765,13 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   // The rank's compute pool, shared by every phase's move scan, modularity
   // reduction, and rebuild (the per-rank half of the MPI+OpenMP hybrid).
   util::ThreadPool pool(cfg.threads_per_rank);
+
+  // kAuto's measured overlap cost model: one model per run, warmed during
+  // the first phases' iterations; forced modes bypass it entirely.
+  OverlapCostModel overlap_model(
+      OverlapCostModel::Config{cfg.overlap_probe_iters, cfg.overlap_min_hidden_s});
+  OverlapCostModel* const overlap_model_ptr =
+      cfg.overlap == OverlapMode::kAuto ? &overlap_model : nullptr;
 
   if (warm != nullptr &&
       (warm->seed_community.size() != static_cast<std::size_t>(graph.local_count()) ||
@@ -831,8 +893,8 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     // A checkpoint resume supplies its own (coarsened) state instead, and
     // every later phase runs on a graph the seed's indices no longer match.
     const WarmStart* phase_warm = (phase == 0 && !resumed) ? warm : nullptr;
-    auto phase_state =
-        run_phase(comm, graph, cfg, phase, tau, pool, timers, telemetry, phase_warm);
+    auto phase_state = run_phase(comm, graph, cfg, phase, tau, pool, timers,
+                                 telemetry, overlap_model_ptr, phase_warm);
 
     // The exit decision depends only on collectively-identical modularities,
     // so it can be taken BEFORE the rebuild: a warm-start run that is about
@@ -973,6 +1035,20 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
   result.messages =
       result.restored.messages + result.counters[util::Counter::kMessages];
   result.bytes = result.restored.bytes + result.counters[util::Counter::kBytes];
+
+  // Manifest v4 "overlap" object: what the knob was, what the run did, and
+  // (kAuto) the cost-model inputs behind the decision. Forced modes report
+  // their constant; executed phases only (phase_telemetry, not restored).
+  if (cfg.overlap == OverlapMode::kAuto) {
+    result.overlap = overlap_model.telemetry(overlap_mode_label(cfg.overlap));
+  } else {
+    const bool on = cfg.overlap == OverlapMode::kOn;
+    result.overlap.mode = overlap_mode_label(cfg.overlap);
+    result.overlap.decision = on ? "on" : "off";
+    result.overlap.decided = true;
+    const auto executed = static_cast<int>(result.phase_telemetry.size());
+    (on ? result.overlap.phases_engaged : result.overlap.phases_declined) = executed;
+  }
   return result;
 }
 

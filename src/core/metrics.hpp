@@ -8,11 +8,13 @@
 // built from these helpers.
 //
 // Manifest schema (stable, versioned): see docs/OBSERVABILITY.md. The
-// top-level "schema" key is "dlouvain-run-manifest/3"; v2 added the always-
-// present "updates" section (streaming-session telemetry), v3 adds the
+// top-level "schema" key is "dlouvain-run-manifest/4"; v2 added the always-
+// present "updates" section (streaming-session telemetry), v3 the
 // "recovery.ladder" section (graduated recovery telemetry: retransmits,
-// verdicts, shrinks) and the arq.*/heartbeat.* counters. v1/v2 documents
-// remain valid inputs for the tooling (tools/check_bench_regression.py,
+// verdicts, shrinks) and the arq.*/heartbeat.* counters, v4 the "overlap"
+// object on distributed manifests (the --overlap=auto cost-model decision
+// and its inputs; core/overlap_model.hpp). v1-v3 documents remain valid
+// inputs for the tooling (tools/check_bench_regression.py,
 // tools/validate_trace.py accept all versions).
 #pragma once
 
@@ -24,7 +26,7 @@
 
 namespace dlouvain::core {
 
-inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/3";
+inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/4";
 
 /// JSON string escaping (quotes, backslash, control characters).
 std::string json_escape(std::string_view s);
@@ -44,6 +46,10 @@ void append_breakdown_json(std::string& out, const TimeBreakdown& b);
 /// Appends the manifest-v2 "updates" object (streaming-session telemetry;
 /// all zeros for a one-shot run).
 void append_updates_json(std::string& out, const UpdateTelemetry& u);
+
+/// Appends the manifest-v4 "overlap" object: configured mode, settled
+/// decision, and the cost-model inputs (core/overlap_model.hpp).
+void append_overlap_json(std::string& out, const OverlapTelemetry& o);
 
 /// Full manifest for one distributed run: scalars, restored counters,
 /// counter catalog, breakdown, per-phase detail. Identical on every rank

@@ -20,7 +20,9 @@ namespace dlouvain::core {
 enum class OverlapMode {
   kOff,   ///< block on the exchange where it is launched (the seed's order)
   kOn,    ///< sweep interior batches while the exchange is in flight
-  kAuto,  ///< on for multi-rank worlds, off for single-rank (nothing to hide)
+  kAuto,  ///< measured cost model (core/overlap_model.hpp): off until the
+          ///< model warms up, then engaged only when the probed hidden time
+          ///< beats the schedule's measured overhead
 };
 
 /// CLI spelling ("off" / "on" / "auto", case-insensitive); nullopt for

@@ -1,0 +1,192 @@
+// Measured cost model behind `--overlap=auto` (ISSUE 8).
+//
+// PR 5 proved the interior-first overlap schedule can HIDE a large fraction
+// of the exchange latency and still LOSE wall-clock (BENCH_PR5: 2.25 s
+// overlap-on vs 1.96 s off at 1 ms simulated latency) -- the scheduling
+// overhead (split sweep, in-flight bookkeeping, later absorb) can cost more
+// than the hidden latency is worth. The old kAuto ("on whenever ranks > 1")
+// ignored that entirely.
+//
+// This model replaces it with a two-stage measured probe, run during the
+// first iterations of a kAuto run:
+//
+//   stage 1 (OFF probe) -- until the model warms up, auto runs with overlap
+//     OFF (the measured-faster default per BENCH_PR5). Each probe iteration
+//     samples the real blocked exchange latency (ghost + delta collective
+//     wall) and the interior-sweep compute time. After `probe_iterations`
+//     samples the model predicts the hidable time per iteration:
+//         predicted_hidden = min(mean latency, mean interior compute)
+//     (the schedule can only hide latency behind interior compute, and only
+//     as much latency as there is). If predicted_hidden < min_hidden_s the
+//     model DECLINES without ever switching overlap on -- there is nothing
+//     worth hiding (single rank, zero-latency wire, tiny interiors).
+//
+//   stage 2 (ON probe) -- otherwise the next `probe_iterations` iterations
+//     run with overlap ON, sampling the actually-hidden latency and the
+//     iteration wall. The decision then compares measured walls:
+//         engage  <=>  mean on-wall < mean off-wall
+//     i.e. overlap is engaged exactly when the hidden time exceeds the
+//     scheduling overhead it buys (overhead = on_wall - (off_wall -
+//     hidden)). Once decided, the verdict holds for the rest of the run;
+//     each phase records whether it ran engaged or declined.
+//
+// Determinism: the model consumes only rank-identical aggregate samples
+// (the caller allreduces the per-rank measurements first), its state
+// advances one step per iteration, and iteration counts are collective --
+// so every rank takes the same branch on the same iteration, keeping the
+// collectives aligned. Overlap itself NEVER changes results (only the
+// position of the blocking wait moves; see core/overlap_mode.hpp), so
+// switching per iteration is bitwise-safe.
+//
+// The decision and its inputs land in the run manifest's "overlap" object
+// (schema dlouvain-run-manifest/4; docs/OBSERVABILITY.md).
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "core/overlap_mode.hpp"
+
+namespace dlouvain::core {
+
+/// One probe iteration's measurements, aggregated to be identical on every
+/// rank (mean over ranks) before they reach the model.
+struct OverlapSample {
+  double latency_s{0};   ///< blocked exchange wall: ghost + delta collectives
+  double interior_s{0};  ///< interior micro-batch sweep wall
+  double hidden_s{0};    ///< latency hidden behind compute (ON iterations)
+  double wall_s{0};      ///< whole-iteration wall
+};
+
+/// The manifest v4 "overlap" object: which mode the run was configured
+/// with, what it ended up doing, and the model inputs that decided it.
+struct OverlapTelemetry {
+  std::string mode{"auto"};     ///< the configured knob (off | on | auto)
+  std::string decision{"off"};  ///< what the run settled on (off | on)
+  bool decided{false};          ///< model reached a verdict (always true forced)
+  int probe_iterations_off{0};  ///< OFF-probe samples consumed
+  int probe_iterations_on{0};   ///< ON-probe samples consumed
+  double predicted_hidden_s{0};  ///< min(mean latency, mean interior), OFF probe
+  double measured_latency_s{0};  ///< mean blocked exchange wall, OFF probe
+  double measured_interior_s{0};  ///< mean interior sweep wall, OFF probe
+  double off_wall_s{0};           ///< mean iteration wall, OFF probe
+  double on_wall_s{0};            ///< mean iteration wall, ON probe
+  double measured_hidden_s{0};    ///< mean actually-hidden latency, ON probe
+  int phases_engaged{0};   ///< phases that ran >= 1 overlapped iteration
+  int phases_declined{0};  ///< phases that ran fully blocking
+};
+
+/// Cost-model knobs (DistConfig::overlap_probe_iters / overlap_min_hidden_s).
+struct OverlapModelConfig {
+  /// Probe iterations per stage (OFF, then ON). At least 1.
+  int probe_iterations{2};
+  /// Engagement floor: an OFF probe predicting less hidable time than this
+  /// per iteration declines without running the ON probe. Covers
+  /// single-rank worlds and zero-latency wires, where even a free schedule
+  /// could hide nothing worth measuring.
+  double min_hidden_s{100e-6};
+};
+
+class OverlapCostModel {
+ public:
+  using Config = OverlapModelConfig;
+
+  explicit OverlapCostModel(Config cfg = {}) : cfg_(cfg) {
+    if (cfg_.probe_iterations < 1) cfg_.probe_iterations = 1;
+  }
+
+  /// Should the NEXT iteration run with overlap on? Until the model warms
+  /// up, auto runs OFF (stage 1); stage 2 probes ON; after the verdict this
+  /// is the verdict.
+  [[nodiscard]] bool want_overlap() const {
+    return state_ == State::kProbeOn || (state_ == State::kDecided && engage_);
+  }
+
+  /// True while the model still wants probe samples recorded.
+  [[nodiscard]] bool probing() const { return state_ != State::kDecided; }
+
+  [[nodiscard]] bool decided() const { return state_ == State::kDecided; }
+  [[nodiscard]] bool engaged() const { return decided() && engage_; }
+
+  /// Feed one probe iteration's rank-identical aggregate sample. The sample
+  /// must describe an iteration run in the mode want_overlap() returned
+  /// when the iteration started. No-op once decided.
+  void record(const OverlapSample& s) {
+    switch (state_) {
+      case State::kProbeOff: {
+        ++t_.probe_iterations_off;
+        off_latency_ += s.latency_s;
+        off_interior_ += s.interior_s;
+        off_wall_ += s.wall_s;
+        if (t_.probe_iterations_off < cfg_.probe_iterations) return;
+        const auto n = static_cast<double>(t_.probe_iterations_off);
+        t_.measured_latency_s = off_latency_ / n;
+        t_.measured_interior_s = off_interior_ / n;
+        t_.off_wall_s = off_wall_ / n;
+        t_.predicted_hidden_s =
+            std::min(t_.measured_latency_s, t_.measured_interior_s);
+        if (t_.predicted_hidden_s < cfg_.min_hidden_s) {
+          decide(false);  // nothing worth hiding: decline without an ON probe
+        } else {
+          state_ = State::kProbeOn;
+        }
+        return;
+      }
+      case State::kProbeOn: {
+        ++t_.probe_iterations_on;
+        on_hidden_ += s.hidden_s;
+        on_wall_ += s.wall_s;
+        if (t_.probe_iterations_on < cfg_.probe_iterations) return;
+        const auto n = static_cast<double>(t_.probe_iterations_on);
+        t_.on_wall_s = on_wall_ / n;
+        t_.measured_hidden_s = on_hidden_ / n;
+        // Engage exactly when the measured hidden time beats the schedule's
+        // measured overhead -- equivalently, when ON iterations are faster.
+        decide(t_.on_wall_s < t_.off_wall_s);
+        return;
+      }
+      case State::kDecided: return;
+    }
+  }
+
+  /// Phase bookkeeping: call once per finished phase with whether any of
+  /// its iterations ran overlapped.
+  void note_phase(bool ran_overlapped) {
+    if (ran_overlapped) {
+      ++t_.phases_engaged;
+    } else {
+      ++t_.phases_declined;
+    }
+  }
+
+  /// Telemetry snapshot for the manifest; `mode` is the configured knob's
+  /// label. An undecided model (run converged before the probe finished)
+  /// reports decision "off" -- auto never engaged.
+  [[nodiscard]] OverlapTelemetry telemetry(const std::string& mode) const {
+    OverlapTelemetry out = t_;
+    out.mode = mode;
+    out.decided = decided();
+    out.decision = want_overlap() && decided() ? "on" : "off";
+    return out;
+  }
+
+ private:
+  enum class State { kProbeOff, kProbeOn, kDecided };
+
+  void decide(bool engage) {
+    engage_ = engage;
+    state_ = State::kDecided;
+  }
+
+  Config cfg_;
+  State state_{State::kProbeOff};
+  bool engage_{false};
+  OverlapTelemetry t_;
+  double off_latency_{0};
+  double off_interior_{0};
+  double off_wall_{0};
+  double on_hidden_{0};
+  double on_wall_{0};
+};
+
+}  // namespace dlouvain::core

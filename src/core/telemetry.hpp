@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/overlap_model.hpp"
 #include "util/metrics.hpp"
 #include "util/types.hpp"
 
@@ -136,6 +137,11 @@ struct DistResult {
   /// history is NOT folded in here; only messages/bytes/seconds above carry
   /// restored history, because only they are persisted.
   util::MetricsSnapshot counters;
+
+  /// How the communication/compute overlap knob resolved (the manifest v4
+  /// "overlap" object): the configured mode, the decision the run settled
+  /// on, and the cost-model inputs that decided it (overlap_model.hpp).
+  OverlapTelemetry overlap;
 
   /// Phase the run was resumed from (DistConfig::checkpoint.resume with a
   /// valid checkpoint on disk); -1 when the run started fresh. When >= 0,

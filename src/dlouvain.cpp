@@ -44,6 +44,8 @@ core::DistConfig Plan::dist_config() const {
   cfg.ghost_exchange_mode = exchange_mode_;
   cfg.delta_exchange_crossover = exchange_crossover_;
   cfg.overlap = overlap_;
+  cfg.overlap_probe_iters = overlap_probe_iters_;
+  cfg.overlap_min_hidden_s = overlap_min_hidden_s_;
   cfg.threads_per_rank = threads_;
   // Effective checkpoint directory: checkpointing() wins when both are set
   // (validate() rejects two DIFFERENT directories); resume() alone keeps

@@ -6,7 +6,7 @@
 #include "louvain/modularity.hpp"
 #include "louvain/vertex_follow.hpp"
 #include "util/prng.hpp"
-#include "util/scatter.hpp"
+#include "util/segmented.hpp"
 #include "util/timer.hpp"
 
 namespace dlouvain::louvain {
@@ -32,9 +32,11 @@ std::vector<CommunityId> run_phase(const graph::Csr& g, const LouvainConfig& cfg
 
   const double gamma = cfg.resolution;
   Weight prev_mod = modularity(g, community, gamma);
-  // Flat e_{v -> c} scatter, keyed directly by community id (ids live in
-  // [0, n) on this engine); reused across every vertex of the phase.
-  util::ScatterAccumulator<Weight> nbr_weight;
+  // Segmented e_{v -> c} reduction, keyed directly by community id (ids
+  // live in [0, n) on this engine); reused across every vertex of the
+  // phase. All lanes are bitwise identical (util/segmented.hpp).
+  const util::SweepLane lane = util::sweep_lane();
+  util::SegmentedAccumulator<Weight> nbr_weight;
 
   // Vertices are swept in a seeded-random order, reshuffled every iteration.
   // Index-order sweeps are pathological for asynchronous Louvain on graphs
@@ -60,27 +62,19 @@ std::vector<CommunityId> run_phase(const graph::Csr& g, const LouvainConfig& cfg
         nbr_weight.add(community[static_cast<std::size_t>(e.dst)], e.weight);
       }
 
-      const Weight e_own = nbr_weight.get(own);
+      const Weight e_own = nbr_weight.sum_of(own);
       const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
 
-      CommunityId best = own;
-      Weight best_gain = 0;
-      for (const CommunityId target : nbr_weight.touched()) {
-        if (target == own) continue;
-        const Weight e_target = nbr_weight.get(target);
-        const Weight gain = (e_target - e_own) / m -
-                            gamma * kv *
-                                (a[static_cast<std::size_t>(target)] - a_own_less_v) /
-                                (2 * m * m);
-        // Strictly positive gain required; ties toward the smaller id keep
-        // the sweep deterministic.
-        if (gain > best_gain || (gain == best_gain && best != own && target < best)) {
-          if (gain > 0) {
-            best = target;
-            best_gain = gain;
-          }
-        }
-      }
+      // ∆Q argmax over the distinct neighbouring communities (strictly
+      // positive gain, ties toward the smaller id -- the lane-shared rule).
+      const auto pick = util::best_segment(
+          lane, nbr_weight, nbr_weight.segment_of(own), e_own, a_own_less_v, kv,
+          m, gamma,
+          [&](std::int64_t slot) { return a[static_cast<std::size_t>(slot)]; },
+          [](std::int64_t slot) { return static_cast<CommunityId>(slot); });
+      const CommunityId best =
+          pick.segment >= 0 ? nbr_weight.slots()[static_cast<std::size_t>(pick.segment)]
+                            : own;
 
       if (best != own) {
         a[static_cast<std::size_t>(own)] -= kv;

@@ -8,7 +8,7 @@
 #include "louvain/vertex_follow.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
-#include "util/scatter.hpp"
+#include "util/segmented.hpp"
 #include "util/timer.hpp"
 
 namespace dlouvain::louvain {
@@ -92,10 +92,13 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
   std::vector<CommunityId> proposed(static_cast<std::size_t>(n), kInvalidCommunity);
   std::vector<Weight> delta_e(static_cast<std::size_t>(n), 0);
 
-  // One flat e_{v -> c} scatter per pool thread (community ids live in
-  // [0, n) on this engine), reused across vertices and batches. Each thread
-  // only ever touches its own slot, so the decision scan stays race-free.
-  std::vector<util::ScatterAccumulator<Weight>> scatter(
+  // One segmented e_{v -> c} reduction per pool thread (community ids live
+  // in [0, n) on this engine), reused across vertices and batches. Each
+  // thread only ever touches its own accumulator, so the decision scan
+  // stays race-free. The lane is captured once per phase; all lanes are
+  // bitwise identical (util/segmented.hpp).
+  const util::SweepLane lane = util::sweep_lane();
+  std::vector<util::SegmentedAccumulator<Weight>> scatter(
       static_cast<std::size_t>(pool.num_threads()));
 
   for (int iter = 0; iter < cfg.max_iterations_per_phase; ++iter) {
@@ -131,25 +134,19 @@ PhaseOutput run_phase(const graph::Csr& g, const LouvainConfig& cfg, int phase,
             if (e.dst == v) continue;
             nbr_weight.add(curr[static_cast<std::size_t>(e.dst)], e.weight);
           }
-          const Weight e_own = nbr_weight.get(own);
+          const Weight e_own = nbr_weight.sum_of(own);
           const Weight a_own_less_v = a[static_cast<std::size_t>(own)] - kv;
 
+          const auto pick = util::best_segment(
+              lane, nbr_weight, nbr_weight.segment_of(own), e_own, a_own_less_v,
+              kv, m, gamma,
+              [&](std::int64_t slot) { return a[static_cast<std::size_t>(slot)]; },
+              [](std::int64_t slot) { return static_cast<CommunityId>(slot); });
           CommunityId best = own;
-          Weight best_gain = 0;
           Weight best_e = e_own;
-          for (const CommunityId target : nbr_weight.touched()) {
-            if (target == own) continue;
-            const Weight e_target = nbr_weight.get(target);
-            const Weight gain =
-                (e_target - e_own) / m -
-                gamma * kv * (a[static_cast<std::size_t>(target)] - a_own_less_v) /
-                    (2 * m * m);
-            if (gain > best_gain ||
-                (gain == best_gain && gain > 0 && best != own && target < best)) {
-              best = target;
-              best_gain = gain;
-              best_e = e_target;
-            }
+          if (pick.segment >= 0) {
+            best = nbr_weight.slots()[static_cast<std::size_t>(pick.segment)];
+            best_e = nbr_weight.sums()[static_cast<std::size_t>(pick.segment)];
           }
 
           // Singleton-swap guard: prevents two same-batch singleton vertices

@@ -22,7 +22,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace dlouvain::util {
@@ -45,8 +48,13 @@ class ScatterAccumulator {
     }
   }
 
-  /// values_[slot] += delta, first touch initialising to delta.
+  /// values_[slot] += delta, first touch initialising to delta. Slot access
+  /// follows the GhostField::of()/at() twin pattern: the hot-path methods
+  /// assert in debug builds and trust the caller in Release; at() below is
+  /// the bounds-checked twin for cold paths and tests.
   void add(std::int64_t slot, V delta) {
+    assert(slot >= 0 && static_cast<std::size_t>(slot) < stamps_.size() &&
+           "ScatterAccumulator::add: slot outside reset() capacity");
     const auto s = static_cast<std::size_t>(slot);
     if (stamps_[s] == epoch_) {
       values_[s] += delta;
@@ -57,10 +65,24 @@ class ScatterAccumulator {
     }
   }
 
-  /// Current value of `slot` (V{} if untouched this epoch).
+  /// Current value of `slot` (V{} if untouched this epoch). Assert-based
+  /// hot-path twin of at().
   [[nodiscard]] V get(std::int64_t slot) const {
+    assert(slot >= 0 && static_cast<std::size_t>(slot) < stamps_.size() &&
+           "ScatterAccumulator::get: slot outside reset() capacity");
     const auto s = static_cast<std::size_t>(slot);
     return stamps_[s] == epoch_ ? values_[s] : V{};
+  }
+
+  /// Bounds-checked twin of get(): throws std::out_of_range instead of
+  /// invoking UB when `slot` was never covered by a reset(). For cold paths
+  /// and tests; the sweeps stay on get().
+  [[nodiscard]] V at(std::int64_t slot) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= stamps_.size())
+      throw std::out_of_range("ScatterAccumulator::at: slot " +
+                              std::to_string(slot) + " outside capacity " +
+                              std::to_string(stamps_.size()));
+    return get(slot);
   }
 
   /// Slots touched since reset(), in first-touch order.

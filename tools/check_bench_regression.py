@@ -38,6 +38,15 @@ no message may have exhausted the retry budget at the sub-threshold rate.
 Timing overheads are recorded in the trail but not asserted (wall clocks on
 shared hosts are noise).
 
+When the current results carry an `overlap_auto` section (the PR8 trail,
+`micro_kernels --pr8_json=...` or `--emit pr8`), the sweep-lane and
+cost-model acceptance bars are checked: the best segmented/SIMD lane must be
+at least --min-lane-speedup x faster than the flat gather baseline measured
+in the SAME run (interleaved reps, so the ratio is noise-robust), all six
+overlap-mode runs must have produced identical results, and `--overlap=auto`
+wall-clock must sit within --auto-tolerance of min(on, off) at both the
+zero-latency and the delayed point, with the cost-model decision recorded.
+
 Exit code 0 = within bounds, 1 = regression or malformed input,
 2 = missing input file (e.g. the baseline was never committed).
 
@@ -88,6 +97,13 @@ MANIFEST_COUNTERS_V3 = (
     "heartbeat.slow_extensions",
 )
 
+# v4 adds the overlap cost-model probe reclassification counters (probe
+# allreduce traffic is model overhead, not algorithm traffic); v1-v3
+# documents remain valid inputs without them.
+MANIFEST_COUNTERS_V4 = (
+    "overlap.probe_messages", "overlap.probe_bytes",
+)
+
 
 def check_manifest(manifest, failures):
     """Validate a --metrics-out run manifest; append problems to failures."""
@@ -107,10 +123,28 @@ def check_manifest(manifest, failures):
             failures.append("v2 manifest carries no updates object")
     if engine != "distributed":
         return  # serial/shared manifests carry no counters by design
+    # v4 adds the always-present "overlap" object recording the kOff/kOn
+    # constant or the kAuto cost-model decision + inputs.
+    if version.isdigit() and int(version) >= 4 and engine == "distributed":
+        overlap = manifest.get("overlap")
+        if not isinstance(overlap, dict):
+            failures.append("v4 distributed manifest carries no overlap object")
+        else:
+            for key in ("mode", "decision", "decided", "predicted_hidden_s",
+                        "measured_latency_s", "phases_engaged",
+                        "phases_declined"):
+                if key not in overlap:
+                    failures.append(f"manifest overlap object missing '{key}'")
+            if overlap.get("decision") not in ("on", "off", "undecided"):
+                failures.append(
+                    f"manifest overlap decision "
+                    f"'{overlap.get('decision')}' is not on/off/undecided")
     counters = manifest.get("counters", {})
     required = MANIFEST_COUNTERS
     if version.isdigit() and int(version) >= 3:
         required = required + MANIFEST_COUNTERS_V3
+    if version.isdigit() and int(version) >= 4:
+        required = required + MANIFEST_COUNTERS_V4
     for name in required:
         if name not in counters:
             failures.append(f"manifest counters missing '{name}'")
@@ -209,6 +243,51 @@ def check_arq_section(arq, failures):
                         "no repair happened (raise the stream volume)")
 
 
+def check_overlap_auto(auto, tolerance, failures):
+    """Validate the PR8 overlap cost-model trail; append problems to failures.
+
+    Three contracts: (1) the overlap knob is a schedule change only, so all
+    six runs (off/on/auto x zero-latency/delayed) must have produced
+    identical results; (2) at each latency point, `--overlap=auto` must land
+    within `tolerance` of min(on, off) wall-clock -- the cost model may not
+    pick a mode that costs more than that over the best forced choice; (3)
+    the model must actually have decided (decision on/off recorded, probes
+    executed), not fallen through undecided.
+    """
+    if auto.get("identical") is not True:
+        failures.append("overlap off/on/auto runs did not produce identical "
+                        "results")
+    for point in ("zero_latency", "delayed"):
+        section = auto.get(point)
+        if not isinstance(section, dict):
+            failures.append(f"overlap_auto missing '{point}' section")
+            continue
+        missing = [k for k in ("off_seconds", "on_seconds", "auto_seconds",
+                               "auto_decision", "auto_decided")
+                   if k not in section]
+        if missing:
+            failures.append(f"overlap_auto.{point} missing {missing}")
+            continue
+        best = min(section["off_seconds"], section["on_seconds"])
+        excess = section["auto_seconds"] / best - 1.0
+        print(f"overlap auto [{point}]: off {section['off_seconds']:.4f}s, "
+              f"on {section['on_seconds']:.4f}s, auto "
+              f"{section['auto_seconds']:.4f}s ({excess:+.1%} vs best, "
+              f"tol {tolerance:.0%}, decision '{section['auto_decision']}')")
+        if excess > tolerance:
+            failures.append(
+                f"overlap_auto.{point}: auto {section['auto_seconds']:.4f}s "
+                f"is {excess:.1%} over min(on, off) {best:.4f}s "
+                f"(tolerance {tolerance:.0%})")
+        if section["auto_decision"] not in ("on", "off"):
+            failures.append(
+                f"overlap_auto.{point}: cost model recorded decision "
+                f"'{section['auto_decision']}', expected on/off")
+        if section["auto_decided"] is not True:
+            failures.append(
+                f"overlap_auto.{point}: cost model never reached a decision")
+
+
 def check_update_section(update, min_speedup, mod_tolerance, failures):
     """Validate the PR6 streaming-update trail; append problems to failures."""
     for key in ("speedup", "modularity_delta", "update_seconds_mean",
@@ -249,7 +328,7 @@ def main():
                         help="required hash/flat local-move ratio in the fresh run")
     parser.add_argument("--manifest",
                         help="also validate this --metrics-out run manifest")
-    parser.add_argument("--emit", choices=("pr3", "pr5", "pr6", "pr7"),
+    parser.add_argument("--emit", choices=("pr3", "pr5", "pr6", "pr7", "pr8"),
                         default="pr3",
                         help="which trail --bench should produce (default pr3)")
     parser.add_argument("--ranks", type=int, default=8,
@@ -265,6 +344,13 @@ def main():
     parser.add_argument("--mod-tolerance", type=float, default=1e-3,
                         help="allowed |session - scratch| modularity gap for "
                              "the update section")
+    parser.add_argument("--auto-tolerance", type=float, default=0.05,
+                        help="allowed --overlap=auto wall-clock excess over "
+                             "min(on, off) when an overlap_auto section is "
+                             "present (0.05 = 5%%)")
+    parser.add_argument("--min-lane-speedup", type=float, default=1.05,
+                        help="required flat/best-lane local-move ratio when "
+                             "an overlap_auto (pr8) section is present")
     args = parser.parse_args()
 
     if bool(args.current) == bool(args.bench):
@@ -288,6 +374,9 @@ def main():
             cmd += [f"--pr6_ranks={args.ranks}"]
         elif args.emit == "pr7":
             cmd += [f"--pr7_ranks={args.ranks}"]
+        elif args.emit == "pr8":
+            cmd += [f"--pr8_ranks={args.ranks}",
+                    f"--pr8_delay_ms={args.delay_ms}"]
         print("+", " ".join(cmd), flush=True)
         result = subprocess.run(cmd)
         if result.returncode != 0:
@@ -310,6 +399,21 @@ def main():
                              args.mod_tolerance, failures)
     if "arq" in current:
         check_arq_section(current["arq"], failures)
+    if "overlap_auto" in current:
+        check_overlap_auto(current["overlap_auto"], args.auto_tolerance,
+                           failures)
+        lane_ratio = current.get("ratios", {}).get("flat_over_best_lane")
+        if lane_ratio is None:
+            failures.append("pr8 results carry no flat_over_best_lane ratio")
+        else:
+            print(f"sweep-lane speedup (flat/best-lane, same machine, "
+                  f"interleaved reps): {lane_ratio:.2f}x "
+                  f"(floor {args.min_lane_speedup:.2f}x)")
+            if lane_ratio < args.min_lane_speedup:
+                failures.append(
+                    f"best sweep lane only {lane_ratio:.2f}x faster than the "
+                    f"flat gather baseline "
+                    f"(floor {args.min_lane_speedup:.2f}x)")
     base_kernels = baseline.get("kernels", {})
     curr_kernels = current.get("kernels", {})
     same_input = baseline.get("graph") == current.get("graph")
