@@ -1,7 +1,12 @@
 #include "core/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <charconv>
 #include <cstring>
 #include <filesystem>
@@ -400,6 +405,85 @@ std::optional<RunCounters> checkpoint_latest_counters(const std::string& dir) {
       return read_counters(phase_dir(dir, k) / "counters.bin");
   }
   return std::nullopt;
+}
+
+// ---- checkpoint directory ownership ------------------------------------
+
+namespace {
+
+/// Is the pid named in a LOCK line still running? EPERM means "alive but
+/// not ours", which still counts as alive; only a confirmed ESRCH (or an
+/// unparseable line, which we treat as live to stay safe) frees the lock.
+bool lock_owner_alive(const std::string& line) {
+  const std::string_view prefix = "pid ";
+  if (line.rfind(prefix, 0) != 0) return true;
+  int pid = 0;
+  const char* first = line.data() + prefix.size();
+  const auto [ptr, ec] = std::from_chars(first, line.data() + line.size(), pid);
+  if (ec != std::errc{} || ptr == first || pid <= 0) return true;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+}  // namespace
+
+CheckpointDirLock::CheckpointDirLock(std::string dir, std::string owner_tag) {
+  fs::create_directories(dir);
+  const fs::path path = fs::path(dir) / "LOCK";
+  owner_line_ = "pid " + std::to_string(static_cast<long>(::getpid())) +
+                " session " + std::move(owner_tag);
+  // O_EXCL creation is the atomic claim; a stale lock (holder pid gone) is
+  // unlinked and re-raced -- if two reclaimers race, one loses the O_EXCL
+  // and re-reads the winner's fresh line.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const auto written =
+          ::write(fd, owner_line_.data(), owner_line_.size());
+      ::close(fd);
+      if (written != static_cast<ssize_t>(owner_line_.size())) {
+        ::unlink(path.c_str());
+        throw std::runtime_error("checkpoint: cannot write " + path.string());
+      }
+      path_ = path.string();
+      return;
+    }
+    if (errno != EEXIST)
+      throw std::runtime_error("checkpoint: cannot create " + path.string());
+    std::string holder;
+    {
+      std::ifstream in(path);
+      std::getline(in, holder);
+    }
+    // A vanished or empty file means the holder released (or is mid-write)
+    // between our open and read; retry the claim.
+    if (!holder.empty() && lock_owner_alive(holder))
+      throw CheckpointDirBusy(holder, dir);
+    ::unlink(path.c_str());
+  }
+  throw std::runtime_error("checkpoint: could not claim " + path.string() +
+                           " (lock churn)");
+}
+
+CheckpointDirLock::~CheckpointDirLock() { release(); }
+
+CheckpointDirLock::CheckpointDirLock(CheckpointDirLock&& other) noexcept
+    : path_(std::move(other.path_)), owner_line_(std::move(other.owner_line_)) {
+  other.path_.clear();
+}
+
+CheckpointDirLock& CheckpointDirLock::operator=(CheckpointDirLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    path_ = std::move(other.path_);
+    owner_line_ = std::move(other.owner_line_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void CheckpointDirLock::release() noexcept {
+  if (!path_.empty()) ::unlink(path_.c_str());
+  path_.clear();
 }
 
 }  // namespace dlouvain::core

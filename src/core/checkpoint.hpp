@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,47 @@
 #include "util/types.hpp"
 
 namespace dlouvain::core {
+
+/// Thrown when a checkpoint directory is already owned by another live run.
+/// Two concurrent runs checkpointing into the same directory silently
+/// interleave phase files (each prunes and overwrites the other's
+/// checkpoints), so ownership is exclusive per directory. `owner` is the
+/// LOCK file's contents describing the current holder.
+class CheckpointDirBusy : public std::runtime_error {
+ public:
+  CheckpointDirBusy(std::string owner_line, const std::string& dir)
+      : std::runtime_error("checkpoint directory '" + dir +
+                           "' is in use by " + owner_line),
+        owner(std::move(owner_line)) {}
+  std::string owner;
+};
+
+/// Exclusive advisory ownership of one checkpoint directory, held for the
+/// lifetime of the run (Session) that checkpoints into it. Implemented as an
+/// O_CREAT|O_EXCL `<dir>/LOCK` pidfile recording "pid <pid> session <tag>";
+/// a lock whose pid no longer exists (crashed process) is stale and is
+/// reclaimed, so recovery-by-resume after a hard crash still works. Throws
+/// CheckpointDirBusy when the directory is owned by a live holder -- either
+/// another process, or another Session in THIS process (same pid, different
+/// tag). Move-only; releases (unlinks) on destruction.
+class CheckpointDirLock {
+ public:
+  CheckpointDirLock(std::string dir, std::string owner_tag);
+  ~CheckpointDirLock();
+  CheckpointDirLock(CheckpointDirLock&& other) noexcept;
+  CheckpointDirLock& operator=(CheckpointDirLock&& other) noexcept;
+  CheckpointDirLock(const CheckpointDirLock&) = delete;
+  CheckpointDirLock& operator=(const CheckpointDirLock&) = delete;
+
+  /// The "pid <pid> session <tag>" line this lock wrote.
+  [[nodiscard]] const std::string& owner_line() const noexcept { return owner_line_; }
+
+ private:
+  void release() noexcept;
+
+  std::string path_;  ///< empty after move-out / release
+  std::string owner_line_;
+};
 
 /// Cumulative global run counters at a phase boundary: wall seconds elapsed
 /// and ALGORITHM messages/bytes (checkpoint I/O excluded) since the original

@@ -86,6 +86,19 @@ void append_overlap_json(std::string& out, const OverlapTelemetry& o) {
   out += '}';
 }
 
+void append_service_json(std::string& out, const ServiceTelemetry& s) {
+  out += "{\"job_id\":" + std::to_string(s.job_id);
+  out += ",\"cache_hit\":";
+  out += s.cache_hit ? "true" : "false";
+  out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  out += ",\"jobs_served\":" + std::to_string(s.jobs_served);
+  out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  out += ",\"rejected\":" + std::to_string(s.rejected);
+  out += ",\"sessions_open\":" + std::to_string(s.sessions_open);
+  out += ",\"drain\":\"" + json_escape(s.drain) + "\"}";
+}
+
 std::string dist_result_to_json(const DistResult& r) {
   std::string out;
   out.reserve(1024 + 512 * r.phase_telemetry.size());

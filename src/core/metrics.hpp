@@ -51,6 +51,30 @@ void append_updates_json(std::string& out, const UpdateTelemetry& u);
 /// decision, and the cost-model inputs (core/overlap_model.hpp).
 void append_overlap_json(std::string& out, const OverlapTelemetry& o);
 
+/// Telemetry of the long-lived clustering service (dlouvaind; see
+/// docs/SERVICE.md). One struct serves both emission sites: a per-response
+/// view (job_id / cache_hit / queue_depth at admission, plus the daemon
+/// totals at that moment) appended to each run manifest as an OPTIONAL
+/// "service" section, and the daemon's final drain manifest
+/// ("dlouvain-service-manifest/1"), where job_id stays -1. The run-manifest
+/// schema remains dlouvain-run-manifest/4 -- the section is additive and
+/// the tooling accepts manifests with or without it.
+struct ServiceTelemetry {
+  std::int64_t job_id{-1};       ///< admission id of this response's job; -1 daemon-wide
+  bool cache_hit{false};         ///< this response was served from the result cache
+  std::int64_t queue_depth{0};   ///< jobs queued (at admission / at emission)
+  std::int64_t jobs_served{0};   ///< responses produced (computed + cached)
+  std::int64_t cache_hits{0};
+  std::int64_t cache_misses{0};
+  std::int64_t rejected{0};      ///< admissions refused (full queue, bad plan, limits)
+  std::int64_t sessions_open{0}; ///< named streaming sessions currently resident
+  std::string drain{"none"};     ///< none | clean | forced (docs/SERVICE.md)
+};
+
+/// Appends the "service" object for either emission site of
+/// ServiceTelemetry.
+void append_service_json(std::string& out, const ServiceTelemetry& s);
+
 /// Full manifest for one distributed run: scalars, restored counters,
 /// counter catalog, breakdown, per-phase detail. Identical on every rank
 /// (DistResult is collective-produced).

@@ -77,9 +77,27 @@ class PlanError : public std::invalid_argument {
   explicit PlanError(const std::string& what) : std::invalid_argument(what) {}
 };
 
+/// A Session whose world is permanently degraded (a rank died during an
+/// update and the per-rank graph slices are partitioned for a world that no
+/// longer exists). Thrown by Session::update()/result() on every call after
+/// the poisoning failure; the message names the original cause. Re-open the
+/// plan on the current graph to continue. Transient failures (a CommFailure
+/// that exhausted max_restarts) do NOT poison: updates mutate copies and
+/// commit only on success, so the session recovers cleanly on the next call.
+class SessionPoisoned : public std::runtime_error {
+ public:
+  explicit SessionPoisoned(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// A batch of undirected edge mutations for Session::update. Fluent like
 /// Plan; order matters only between a remove and an add of the SAME edge
 /// (removals resolve against the pre-batch graph, additions apply after).
+/// Duplicate changes follow the same rule: adding the same edge twice sums
+/// the weights (on top of the pre-batch weight when the edge exists and is
+/// not removed in this batch), while removing the same edge twice is an
+/// error -- the second removal names an edge the pre-batch graph holds only
+/// once. These semantics are engine-independent (test_incremental pins the
+/// serial and distributed engines to the same behaviour).
 class EdgeBatch {
  public:
   /// Add weight `w` (> 0) to edge {u, v}, creating it if absent.
@@ -443,14 +461,32 @@ class Session {
 
   /// The clustering of the graph as currently updated. Same shape and
   /// manifest as Plan::run's result; Result::updates carries the session's
-  /// cumulative update telemetry.
-  [[nodiscard]] const Result& result() const noexcept { return result_; }
+  /// cumulative update telemetry. Throws SessionPoisoned after a rank died
+  /// during an update (the resident state no longer matches a runnable
+  /// world).
+  [[nodiscard]] const Result& result() const {
+    if (!poisoned_.empty()) throw SessionPoisoned(poisoned_);
+    return result_;
+  }
 
   /// Apply `batch` to the graph and re-cluster. Collective over the same
   /// in-process ranks as the initial run; throws std::invalid_argument on a
   /// malformed batch (out-of-range endpoint, self loop, removal of an
   /// absent edge) WITHOUT modifying the session. An empty batch is a no-op.
+  ///
+  /// Failure lifecycle: a transient CommFailure that exhausts
+  /// Plan::max_restarts propagates, but leaves the session on its pre-batch
+  /// state (updates mutate per-rank copies and commit only on success) --
+  /// the next update() starts clean with a fresh restart budget. A RankDead
+  /// verdict instead POISONS the session (the world lost a rank for good;
+  /// retrying at the old size can only re-fail): the original exception
+  /// propagates, and every later update()/result() throws SessionPoisoned
+  /// naming it. Re-open the plan to continue at the surviving size.
   UpdateStats update(const EdgeBatch& batch);
+
+  /// Non-empty after a poisoning failure: the message every subsequent
+  /// update()/result() throws as SessionPoisoned.
+  [[nodiscard]] const std::string& poisoned() const noexcept { return poisoned_; }
 
   /// Number of update() calls that mutated the graph.
   [[nodiscard]] int updates_applied() const noexcept {
@@ -471,6 +507,16 @@ class Session {
 
   Plan plan_;
   Result result_;
+  /// Why this session is unusable; empty while healthy. Set when a rank
+  /// died during an update (see update()'s failure-lifecycle contract).
+  std::string poisoned_;
+  /// Exclusive ownership of the plan's checkpoint directory for the
+  /// session's lifetime (core::CheckpointDirLock behind a type-erased
+  /// pointer so this header stays checkpoint-free). Null when the plan
+  /// neither checkpoints nor resumes. Two live sessions pointed at the same
+  /// directory would interleave phase files; the second open() throws
+  /// PlanError naming both owners instead.
+  std::shared_ptr<void> checkpoint_lock_;
   /// Ranks currently running the session: Plan::ranks at open, decremented
   /// by every rung-3 shrink. Updates run at this size too.
   int active_ranks_{0};

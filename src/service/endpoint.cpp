@@ -1,0 +1,246 @@
+#include "service/endpoint.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dlouvain::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("listen(" + path + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+ServiceEndpoint::ServiceEndpoint(EndpointOptions opts, JobScheduler& scheduler)
+    : opts_(std::move(opts)), scheduler_(scheduler) {
+  if (!opts_.unix_path.empty())
+    listen_fd_ = listen_unix(opts_.unix_path);
+  else if (opts_.tcp_port >= 0)
+    listen_fd_ = listen_tcp(opts_.tcp_port, port_);
+  else
+    throw std::runtime_error("endpoint needs a unix path or a tcp port");
+}
+
+ServiceEndpoint::~ServiceEndpoint() { stop(); }
+
+void ServiceEndpoint::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceEndpoint::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // 1. No new connections: retire and close the listener; the blocked
+  //    accept() fails and the accept loop exits.
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Every admitted job completes and every in-flight request gets its
+  //    reply (connection threads are blocked on reply futures, not on us).
+  scheduler_.drain();
+  // 3. Unblock readers waiting for a next request that will never come,
+  //    then join. shutdown() (not close()) so a thread mid-write still
+  //    flushes; each thread closes its own fd on exit.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& t : conn_threads_) t.join();
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+}
+
+void ServiceEndpoint::accept_loop() {
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;  // stop() retired the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop()) or fatal -- either way, stop accepting
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void ServiceEndpoint::serve_connection(int fd) {
+  try {
+    for (;;) {
+      auto frame = read_frame(fd, opts_.max_payload);
+      if (!frame) break;  // clean EOF
+      dispatch(fd, *frame);
+    }
+  } catch (const ProtocolError& e) {
+    // Best effort: name the problem before dropping the connection. The
+    // stream may be unframed at this point, so failure to send is fine.
+    try {
+      write_all(fd, encode_frame(FrameType::kError, std::string_view(e.what())));
+    } catch (...) {
+    }
+  }
+  // Deregister before closing so stop() never shutdown()s a reused fd
+  // number.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    std::erase(conn_fds_, fd);
+  }
+  ::close(fd);
+}
+
+void ServiceEndpoint::dispatch(int fd, const Frame& frame) {
+  std::future<Reply> pending;
+  switch (frame.type) {
+    case FrameType::kSubmit:
+      pending = scheduler_.submit(decode_job_request(frame.payload));
+      break;
+    case FrameType::kOpenSession:
+      pending = scheduler_.open_session(decode_job_request(frame.payload));
+      break;
+    case FrameType::kUpdate:
+      pending = scheduler_.update_session(decode_update_request(frame.payload));
+      break;
+    case FrameType::kCloseSession: {
+      WireReader r(frame.payload);
+      const std::string name = r.get_string();
+      r.expect_end();
+      pending = scheduler_.close_session(name);
+      break;
+    }
+    case FrameType::kStats: {
+      std::promise<Reply> p;
+      p.set_value(Reply{FrameType::kStatsReply, scheduler_.final_manifest()});
+      pending = p.get_future();
+      break;
+    }
+    default:
+      throw ProtocolError("unexpected frame type " +
+                          std::to_string(static_cast<std::uint32_t>(frame.type)) +
+                          " from a client");
+  }
+  const Reply reply = pending.get();
+  write_all(fd, encode_frame(reply.type, std::string_view(reply.body)));
+}
+
+// ---- ServiceClient ------------------------------------------------------
+
+ServiceClient ServiceClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw ProtocolError("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ProtocolError(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw ProtocolError("connect(" + path + "): " + std::strerror(e));
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ProtocolError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw ProtocolError("connect(127.0.0.1:" + std::to_string(port) +
+                        "): " + std::strerror(e));
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame ServiceClient::call(FrameType type, std::span<const std::byte> payload) {
+  write_all(fd_, encode_frame(type, payload));
+  auto reply = read_frame(fd_);
+  if (!reply) throw ProtocolError("connection closed before the reply frame");
+  return std::move(*reply);
+}
+
+Frame ServiceClient::call(FrameType type, std::string_view payload) {
+  return call(type, std::span<const std::byte>(
+                        reinterpret_cast<const std::byte*>(payload.data()),
+                        payload.size()));
+}
+
+}  // namespace dlouvain::service

@@ -1,0 +1,107 @@
+// Socket transport of the long-lived clustering service (dlouvaind; see
+// docs/SERVICE.md). A ServiceEndpoint owns the listening socket (Unix
+// domain at a path, or TCP on loopback), the accept loop and one thread
+// per connection; each connection thread reads DLSV frames, dispatches the
+// decoded request to the JobScheduler, blocks on the reply future
+// (backpressure: a connection carries one request at a time, replies
+// return in request order) and writes the reply frame back.
+//
+// Shutdown sequencing (the drain contract, driven by the daemon's SIGTERM
+// handler): stop() closes the listener so no new connections land, drains
+// the scheduler -- every admitted job still gets its reply, admission
+// during the drain answers kError "draining" -- then shuts down the
+// per-connection sockets to unblock readers and joins every thread.
+// Nothing is ever dropped without a response on an established connection.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+
+namespace dlouvain::service {
+
+/// Where to listen. Exactly one of `unix_path` (preferred: no port
+/// collisions in CI) or `tcp_port` (on 127.0.0.1; 0 = kernel-assigned,
+/// read back via ServiceEndpoint::port()).
+struct EndpointOptions {
+  std::string unix_path;
+  int tcp_port{-1};
+  std::size_t max_payload{kDefaultMaxPayload};
+};
+
+class ServiceEndpoint {
+ public:
+  /// Binds and listens (throws std::runtime_error on failure); serving
+  /// starts with start().
+  ServiceEndpoint(EndpointOptions opts, JobScheduler& scheduler);
+  ~ServiceEndpoint();
+  ServiceEndpoint(const ServiceEndpoint&) = delete;
+  ServiceEndpoint& operator=(const ServiceEndpoint&) = delete;
+
+  /// Spawn the accept loop.
+  void start();
+
+  /// Graceful shutdown: close the listener, drain the scheduler, unblock
+  /// and join every connection. Idempotent; called by the destructor.
+  void stop();
+
+  /// The bound TCP port (kernel-assigned when opts.tcp_port == 0); -1 for
+  /// a Unix socket.
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Connections accepted so far.
+  [[nodiscard]] std::int64_t connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void dispatch(int fd, const Frame& frame);
+
+  EndpointOptions opts_;
+  JobScheduler& scheduler_;
+  /// Atomic: stop() retires the fd (exchange to -1) while the accept loop
+  /// reads it, and the exchange makes close() happen exactly once.
+  std::atomic<int> listen_fd_{-1};
+  int port_{-1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> connections_{0};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  ///< live connection sockets (for shutdown)
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Blocking client for one connection: sends a request frame, reads the
+/// reply. Used by the CLI's --submit/--open/--update modes and the tests;
+/// connect to a Unix path or a loopback port.
+class ServiceClient {
+ public:
+  static ServiceClient connect_unix(const std::string& path);
+  static ServiceClient connect_tcp(int port);
+  ~ServiceClient();
+  ServiceClient(ServiceClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  ServiceClient& operator=(ServiceClient&&) = delete;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// One round trip: write `frame`, read the reply frame. Throws
+  /// ProtocolError on transport or framing failure.
+  Frame call(FrameType type, std::span<const std::byte> payload);
+  Frame call(FrameType type, std::string_view payload = {});
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+  int fd_{-1};
+};
+
+}  // namespace dlouvain::service

@@ -1,0 +1,334 @@
+#include "service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace dlouvain::service {
+
+namespace {
+
+/// Request payloads lead with this version word; bump when a payload grows
+/// fields (the frame layer never changes).
+constexpr std::uint32_t kPayloadVersion = 1;
+
+void append_le(std::vector<std::byte>& out, const void* data, std::size_t size) {
+  const auto* b = static_cast<const std::byte*>(data);
+  out.insert(out.end(), b, b + size);
+}
+
+}  // namespace
+
+void WireWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void WireWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  put_raw(s.data(), s.size());
+}
+
+void WireReader::get_raw(void* out, std::size_t size) {
+  if (size > remaining())
+    throw ProtocolError("payload truncated: need " + std::to_string(size) +
+                        " bytes at offset " + std::to_string(pos_) + ", have " +
+                        std::to_string(remaining()));
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+}
+
+std::uint8_t WireReader::get_u8() {
+  std::uint8_t v;
+  get_raw(&v, sizeof v);
+  return v;
+}
+std::uint32_t WireReader::get_u32() {
+  std::uint32_t v;
+  get_raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t WireReader::get_u64() {
+  std::uint64_t v;
+  get_raw(&v, sizeof v);
+  return v;
+}
+std::int32_t WireReader::get_i32() {
+  std::int32_t v;
+  get_raw(&v, sizeof v);
+  return v;
+}
+std::int64_t WireReader::get_i64() {
+  std::int64_t v;
+  get_raw(&v, sizeof v);
+  return v;
+}
+double WireReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::get_string(std::size_t max_len) {
+  const std::uint32_t len = get_u32();
+  if (len > max_len)
+    throw ProtocolError("string field of " + std::to_string(len) +
+                        " bytes exceeds the " + std::to_string(max_len) + " limit");
+  std::string s(len, '\0');
+  get_raw(s.data(), len);
+  return s;
+}
+
+void WireReader::expect_end() const {
+  if (remaining() != 0)
+    throw ProtocolError(std::to_string(remaining()) +
+                        " trailing bytes after the last payload field");
+}
+
+// ---- frame codec --------------------------------------------------------
+
+std::vector<std::byte> encode_frame(FrameType type, std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  const std::uint64_t magic = kFrameMagic;
+  const auto type_raw = static_cast<std::uint32_t>(type);
+  const auto length = static_cast<std::uint64_t>(payload.size());
+  append_le(out, &magic, sizeof magic);
+  append_le(out, &type_raw, sizeof type_raw);
+  append_le(out, &length, sizeof length);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = util::crc32(out.data(), out.size());
+  append_le(out, &crc, sizeof crc);
+  return out;
+}
+
+std::vector<std::byte> encode_frame(FrameType type, std::string_view payload) {
+  return encode_frame(
+      type, std::span<const std::byte>(reinterpret_cast<const std::byte*>(payload.data()),
+                                       payload.size()));
+}
+
+bool read_exact(int fd, void* out, std::size_t size) {
+  auto* dst = static_cast<std::byte*>(out);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, dst + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF between frames
+      throw ProtocolError("connection closed mid-frame (" + std::to_string(done) +
+                          " of " + std::to_string(size) + " bytes read)");
+    }
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("read failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* src = static_cast<const std::byte*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, src + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw ProtocolError(std::string("write failed: ") +
+                        (n < 0 ? std::strerror(errno) : "short write"));
+  }
+}
+
+namespace {
+
+Frame finish_frame(std::uint32_t type_raw, std::vector<std::byte> payload,
+                   std::uint32_t stored_crc, const util::Crc32& crc) {
+  if (crc.value() != stored_crc)
+    throw ProtocolError("frame CRC mismatch (stored " + std::to_string(stored_crc) +
+                        ", computed " + std::to_string(crc.value()) + ")");
+  Frame f;
+  f.type = static_cast<FrameType>(type_raw);
+  f.payload = std::move(payload);
+  return f;
+}
+
+void check_header(std::uint64_t magic, std::uint64_t length, std::size_t max_payload) {
+  if (magic != kFrameMagic)
+    throw ProtocolError("bad frame magic (not a DLSV0001 stream)");
+  if (length > max_payload)
+    throw ProtocolError("frame payload of " + std::to_string(length) +
+                        " bytes exceeds the " + std::to_string(max_payload) +
+                        "-byte limit");
+}
+
+}  // namespace
+
+std::optional<Frame> read_frame(int fd, std::size_t max_payload) {
+  std::byte header[kFrameHeaderBytes];
+  if (!read_exact(fd, header, sizeof header)) return std::nullopt;
+  std::uint64_t magic;
+  std::uint32_t type_raw;
+  std::uint64_t length;
+  std::memcpy(&magic, header, 8);
+  std::memcpy(&type_raw, header + 8, 4);
+  std::memcpy(&length, header + 12, 8);
+  check_header(magic, length, max_payload);
+  std::vector<std::byte> payload(static_cast<std::size_t>(length));
+  if (length != 0) read_exact(fd, payload.data(), payload.size());
+  std::uint32_t stored_crc;
+  read_exact(fd, &stored_crc, sizeof stored_crc);
+  util::Crc32 crc;
+  crc.update(header, sizeof header);
+  crc.update(payload.data(), payload.size());
+  return finish_frame(type_raw, std::move(payload), stored_crc, crc);
+}
+
+Frame decode_frame(std::span<const std::byte> buffer, std::size_t& consumed,
+                   std::size_t max_payload) {
+  if (buffer.size() < kFrameHeaderBytes + kFrameTrailerBytes)
+    throw ProtocolError("buffer shorter than a minimal frame");
+  std::uint64_t magic;
+  std::uint32_t type_raw;
+  std::uint64_t length;
+  std::memcpy(&magic, buffer.data(), 8);
+  std::memcpy(&type_raw, buffer.data() + 8, 4);
+  std::memcpy(&length, buffer.data() + 12, 8);
+  check_header(magic, length, max_payload);
+  const std::size_t total =
+      kFrameHeaderBytes + static_cast<std::size_t>(length) + kFrameTrailerBytes;
+  if (buffer.size() < total) throw ProtocolError("buffer truncated mid-frame");
+  std::vector<std::byte> payload(buffer.begin() + kFrameHeaderBytes,
+                                 buffer.begin() + kFrameHeaderBytes +
+                                     static_cast<std::ptrdiff_t>(length));
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, buffer.data() + total - kFrameTrailerBytes, 4);
+  util::Crc32 crc;
+  crc.update(buffer.data(), total - kFrameTrailerBytes);
+  consumed = total;
+  return finish_frame(type_raw, std::move(payload), stored_crc, crc);
+}
+
+// ---- request payloads ---------------------------------------------------
+
+std::vector<std::byte> encode_job_request(const JobRequest& req) {
+  WireWriter w;
+  w.put_u32(kPayloadVersion);
+  w.put_i32(req.config.ranks);
+  w.put_i32(req.config.threads);
+  w.put_u8(req.config.variant);
+  w.put_f64(req.config.alpha);
+  w.put_f64(req.config.threshold);
+  w.put_f64(req.config.resolution);
+  w.put_u64(req.config.seed);
+  w.put_i32(req.config.max_phases);
+  w.put_i32(req.config.max_iterations);
+  w.put_string(req.session_name);
+  w.put_i64(req.num_vertices);
+  w.put_u64(req.edges.size());
+  for (const Edge& e : req.edges) {
+    w.put_i64(e.src);
+    w.put_i64(e.dst);
+    w.put_f64(e.weight);
+  }
+  return w.take();
+}
+
+JobRequest decode_job_request(std::span<const std::byte> payload) {
+  WireReader r(payload);
+  const std::uint32_t version = r.get_u32();
+  if (version != kPayloadVersion)
+    throw ProtocolError("unsupported job-request payload version " +
+                        std::to_string(version));
+  JobRequest req;
+  req.config.ranks = r.get_i32();
+  req.config.threads = r.get_i32();
+  req.config.variant = r.get_u8();
+  req.config.alpha = r.get_f64();
+  req.config.threshold = r.get_f64();
+  req.config.resolution = r.get_f64();
+  req.config.seed = r.get_u64();
+  req.config.max_phases = r.get_i32();
+  req.config.max_iterations = r.get_i32();
+  req.session_name = r.get_string();
+  req.num_vertices = r.get_i64();
+  const std::uint64_t m = r.get_u64();
+  // 24 bytes per edge remain in the payload; a hostile count is caught here
+  // before the reserve, not by the per-edge reads (divide, don't multiply --
+  // m * 24 could wrap).
+  if (m > r.remaining() / 24)
+    throw ProtocolError("edge count " + std::to_string(m) +
+                        " inconsistent with payload size");
+  req.edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Edge e;
+    e.src = r.get_i64();
+    e.dst = r.get_i64();
+    e.weight = r.get_f64();
+    req.edges.push_back(e);
+  }
+  r.expect_end();
+  return req;
+}
+
+std::vector<std::byte> encode_update_request(const UpdateRequest& req) {
+  WireWriter w;
+  w.put_u32(kPayloadVersion);
+  w.put_string(req.session_name);
+  w.put_u64(req.changes.size());
+  for (const graph::EdgeChange& c : req.changes) {
+    w.put_i64(c.u);
+    w.put_i64(c.v);
+    w.put_f64(c.weight);
+    w.put_u8(c.remove ? 1 : 0);
+  }
+  return w.take();
+}
+
+UpdateRequest decode_update_request(std::span<const std::byte> payload) {
+  WireReader r(payload);
+  const std::uint32_t version = r.get_u32();
+  if (version != kPayloadVersion)
+    throw ProtocolError("unsupported update-request payload version " +
+                        std::to_string(version));
+  UpdateRequest req;
+  req.session_name = r.get_string();
+  const std::uint64_t n = r.get_u64();
+  if (n > r.remaining() / 25)
+    throw ProtocolError("change count " + std::to_string(n) +
+                        " inconsistent with payload size");
+  req.changes.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    graph::EdgeChange c;
+    c.u = r.get_i64();
+    c.v = r.get_i64();
+    c.weight = r.get_f64();
+    c.remove = r.get_u8() != 0;
+    req.changes.push_back(c);
+  }
+  r.expect_end();
+  return req;
+}
+
+std::vector<Edge> canonical_edges(const graph::Csr& g) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_arcs()) / 2 + 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (h.dst < v) continue;  // keep one direction; self loops pass once
+      edges.push_back(Edge{v, h.dst, h.weight});
+    }
+  }
+  return edges;
+}
+
+}  // namespace dlouvain::service

@@ -1,0 +1,198 @@
+// Wire protocol of the long-lived clustering service (dlouvaind; see
+// docs/SERVICE.md).
+//
+// Every message is one length-prefixed, CRC-sealed frame, following the
+// same versioned-header discipline as the .dlel graph format (magic with a
+// version digit, little-endian fixed-width fields, util/crc32.hpp seal):
+//
+//   magic    u64  'DLSV0001'
+//   type     u32  FrameType
+//   length   u64  payload bytes (bounded by the endpoint's max_payload)
+//   payload  length bytes
+//   crc      u32  CRC32 of everything above (header + payload)
+//
+// The CRC covers the header too, so a flipped type or length is caught, not
+// just payload rot. Request payloads are themselves versioned (a leading
+// u32), so the frame layer never changes when a request grows fields.
+//
+// Request payloads (client -> daemon):
+//   kSubmit       JobRequest -- one clustering job (cacheable)
+//   kOpenSession  JobRequest with session_name set -- converge and keep the
+//                 Session resident under that name
+//   kUpdate       UpdateRequest -- EdgeBatch against a named session
+//   kCloseSession session name -- drop the named session
+//   kStats        empty -- daemon service counters
+//
+// Response payloads (daemon -> client):
+//   kManifest     run-manifest JSON (v4 + "service" section)
+//   kStatsReply   service-manifest JSON
+//   kError        UTF-8 one-line message (admission refusal, bad request,
+//                 draining)
+//
+// Exactly one response frame per request frame, in request order per
+// connection. The codec is transport-agnostic: encode/decode work on byte
+// buffers, and the fd helpers layer them over a blocking socket.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::service {
+
+inline constexpr std::uint64_t kFrameMagic = 0x313030305653'4c44ULL;  // "DLSV0001"
+inline constexpr std::size_t kFrameHeaderBytes = 8 + 4 + 8;
+inline constexpr std::size_t kFrameTrailerBytes = 4;
+/// Default per-frame payload bound: a hostile length field must not drive an
+/// allocation, and the service's operating envelope is graphs that fit one
+/// node anyway.
+inline constexpr std::size_t kDefaultMaxPayload = std::size_t{1} << 30;
+
+enum class FrameType : std::uint32_t {
+  kSubmit = 1,
+  kOpenSession = 2,
+  kUpdate = 3,
+  kCloseSession = 4,
+  kStats = 5,
+  kManifest = 0x11,
+  kError = 0x12,
+  kStatsReply = 0x13,
+};
+
+/// A malformed, truncated, corrupt or oversized frame / payload. Connection
+/// handlers answer with kError where possible and drop the connection.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Frame {
+  FrameType type{FrameType::kError};
+  std::vector<std::byte> payload;
+};
+
+/// Little-endian append-only payload builder (mirrors checkpoint.cpp's
+/// ByteWriter, public here because both daemon and clients encode).
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { put_raw(&v, sizeof v); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_i32(std::int32_t v) { put_raw(&v, sizeof v); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v);
+  void put_string(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
+
+ private:
+  void put_raw(const void* data, std::size_t size) {
+    const auto* b = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), b, b + size);
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian payload reader; every overrun or bad field
+/// is a ProtocolError, never UB.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int32_t get_i32();
+  std::int64_t get_i64();
+  double get_f64();
+  std::string get_string(std::size_t max_len = 1 << 20);
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  /// Throws unless the whole payload was consumed (catches trailing junk).
+  void expect_end() const;
+
+ private:
+  void get_raw(void* out, std::size_t size);
+  std::span<const std::byte> data_;
+  std::size_t pos_{0};
+};
+
+// ---- frame codec --------------------------------------------------------
+
+/// One full frame (header + payload + CRC), ready to write to a socket.
+std::vector<std::byte> encode_frame(FrameType type, std::span<const std::byte> payload);
+std::vector<std::byte> encode_frame(FrameType type, std::string_view payload);
+
+/// Blocking exact-count I/O over a socket fd (EINTR-safe). read_exact
+/// returns false on a clean EOF at byte 0 and throws on a mid-record EOF.
+bool read_exact(int fd, void* out, std::size_t size);
+void write_all(int fd, const void* data, std::size_t size);
+inline void write_all(int fd, std::span<const std::byte> data) {
+  write_all(fd, data.data(), data.size());
+}
+
+/// Read one frame from `fd`: nullopt on clean EOF (peer closed between
+/// frames), ProtocolError on bad magic/oversized length/CRC mismatch/
+/// truncation.
+std::optional<Frame> read_frame(int fd, std::size_t max_payload = kDefaultMaxPayload);
+
+/// Decode one frame from an in-memory buffer (for tests and fuzzing);
+/// `consumed` receives the frame's full encoded size.
+Frame decode_frame(std::span<const std::byte> buffer, std::size_t& consumed,
+                   std::size_t max_payload = kDefaultMaxPayload);
+
+// ---- request payloads ---------------------------------------------------
+
+/// The Plan knobs a job may set (a deliberate subset: the service runs the
+/// distributed engine, never checkpoints, and owns the fault-tolerance
+/// policy). `threads` is accepted but excluded from the cache key -- the
+/// determinism contract makes results thread-count-invariant.
+struct JobConfig {
+  std::int32_t ranks{4};
+  std::int32_t threads{1};
+  std::uint8_t variant{0};  ///< core::Variant as u8
+  double alpha{0.25};
+  double threshold{1e-6};
+  double resolution{1.0};
+  std::uint64_t seed{7777};
+  std::int32_t max_phases{64};
+  std::int32_t max_iterations{512};
+};
+
+/// One clustering job: a config plus the graph, inline as canonical
+/// (src <= dst, coalesced) undirected edges. `session_name` is empty for a
+/// one-shot kSubmit and names the resident Session for kOpenSession.
+struct JobRequest {
+  JobConfig config;
+  std::string session_name;
+  VertexId num_vertices{0};
+  std::vector<Edge> edges;
+};
+
+/// An EdgeBatch against a named resident session.
+struct UpdateRequest {
+  std::string session_name;
+  std::vector<graph::EdgeChange> changes;
+};
+
+std::vector<std::byte> encode_job_request(const JobRequest& req);
+JobRequest decode_job_request(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_update_request(const UpdateRequest& req);
+UpdateRequest decode_update_request(std::span<const std::byte> payload);
+
+/// Canonical undirected edge list of a CSR (each edge once, src <= dst, the
+/// same normal form build_csr produces) -- what clients ship inline so that
+/// equal graphs have equal bytes and therefore equal fingerprints.
+std::vector<Edge> canonical_edges(const graph::Csr& g);
+
+}  // namespace dlouvain::service

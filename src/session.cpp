@@ -4,6 +4,8 @@
 // re-converges warm.
 #include "dlouvain.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
@@ -67,6 +69,29 @@ void Session::run_initial(const graph::Csr& g) {
     }
     case Engine::kDistributed: {
       auto cfg = plan_.dist_config();
+
+      // Claim the checkpoint directory for the session's lifetime BEFORE
+      // anything touches it: two live runs checkpointing into one directory
+      // interleave (and prune) each other's phase files. The lock is a
+      // pidfile, so a directory orphaned by a crashed process is reclaimed,
+      // while a genuinely live owner -- another process, or another Session
+      // in this one -- turns into a PlanError naming both parties.
+      if (!cfg.checkpoint.dir.empty()) {
+        static std::atomic<std::uint64_t> next_session_id{0};
+        const std::string tag =
+            "s" + std::to_string(next_session_id.fetch_add(1, std::memory_order_relaxed));
+        try {
+          auto lock = std::make_shared<core::CheckpointDirLock>(cfg.checkpoint.dir, tag);
+          checkpoint_lock_ = std::move(lock);
+        } catch (const core::CheckpointDirBusy& busy) {
+          throw PlanError("checkpointing(\"" + cfg.checkpoint.dir +
+                          "\"): directory is in use by [" + busy.owner +
+                          "] and this plan (pid " + std::to_string(::getpid()) +
+                          " session " + tag +
+                          ") would interleave its phase files; point the two "
+                          "runs at different directories");
+        }
+      }
 
       options_.timeout_seconds = plan_.comm_timeout_;
       options_.retransmit_max = plan_.retransmit_max_;
@@ -236,6 +261,7 @@ void Session::run_initial(const graph::Csr& g) {
 }
 
 UpdateStats Session::update(const EdgeBatch& batch) {
+  if (!poisoned_.empty()) throw SessionPoisoned(poisoned_);
   if (batch.empty()) return {};
 
   // Cheap local validation up front: a malformed batch must throw without
@@ -385,10 +411,28 @@ UpdateStats Session::update_distributed(const EdgeBatch& batch) {
           },
           options_);
       break;
+    } catch (const comm::RankDead& e) {
+      // A permanent death mid-update: the session's per-rank slices are
+      // partitioned for a world that no longer exists, and a retry at the
+      // old size can only hit the same dead rank again (kill triggers
+      // re-fire until retired). Poison the session -- every later
+      // update()/result() reports this cause -- and let the verdict
+      // propagate. The pre-batch state itself is untouched (copies), but
+      // there is no world left to run it on.
+      harvest_update_ladder();
+      result_.recovery.attempts += 1;
+      result_.recovery.verdicts_dead += 1;
+      poisoned_ = std::string("session poisoned by rank-death during update ") +
+                  "(batch " + std::to_string(result_.updates.batches_applied + 1) +
+                  "): " + e.what() + "; re-open the plan to continue";
+      throw;
     } catch (const comm::CommFailure&) {
       harvest_update_ladder();
-      if (attempt >= plan_.max_restarts_) throw;
       result_.recovery.attempts += 1;
+      // Transient failure past the budget: propagate, but do NOT poison --
+      // nothing committed (copy-mutate-commit), so the next update() starts
+      // from the pristine pre-batch state with a fresh restart budget.
+      if (attempt >= plan_.max_restarts_) throw;
     }
   }
   harvest_update_ladder();

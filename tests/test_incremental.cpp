@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <set>
 #include <string>
@@ -15,6 +17,7 @@
 #include "comm/comm.hpp"
 #include "comm/fault.hpp"
 #include "comm/world.hpp"
+#include "core/checkpoint.hpp"
 #include "core/dist_louvain.hpp"
 #include "dlouvain.hpp"
 #include "gen/rmat.hpp"
@@ -475,4 +478,287 @@ TEST(ManifestV2, UpdatesSectionTracksSession) {
   EXPECT_NE(json.find("\"updates\":{\"batches_applied\":2,\"edges_added\":5,"
                       "\"edges_removed\":3"),
             std::string::npos);
+}
+
+// ---- ISSUE 9 satellite 1: Session safe against reuse-after-failure ----------
+
+namespace {
+
+/// Stage a converged checkpoint in `dir` so a follow-up session can
+/// `.resume(dir)` straight past phase 0 -- which lets a (phase 0, iter 0)
+/// fault trigger target the UPDATE's warm re-convergence while the initial
+/// (resumed) run sails past untouched.
+dg::Csr stage_resumable_checkpoint(const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  const auto g = gen::planted_partition(240, 6, 0.30, 0.01, 11);
+  const auto csr = dg::from_edges(g.num_vertices, g.edges);
+  const auto staged = Plan::distributed(3).checkpointing(dir).run(csr);
+  // The trick needs a phase >= 1 checkpoint; this graph converges in
+  // several phases.
+  EXPECT_GE(staged.phases, 2);
+  EXPECT_GE(core::checkpoint_latest_phase(dir).value_or(0), 1);
+  return csr;
+}
+
+}  // namespace
+
+TEST(SessionLifecycle, TransientExhaustionDoesNotPoisonNextUpdateRecovers) {
+  const std::string dir = "ckpt_transient_reuse";
+  const auto csr = stage_resumable_checkpoint(dir);
+
+  // crash() is one-shot: the first update's attempt 0 dies, and with
+  // max_restarts(0) the CommFailure propagates to the caller.
+  auto session = Plan::distributed(3)
+                     .resume(dir)
+                     .inject_faults(dc::FaultPlan().crash(1, /*phase=*/0, /*iteration=*/0))
+                     .max_restarts(0)
+                     .open(csr);
+  ASSERT_GE(session.result().recovery.resumed_from_phase, 1);
+
+  const auto batch = EdgeBatch().add(0, 120, 1.0).add(5, 200, 1.0);
+  EXPECT_THROW(session.update(batch), dc::RankCrashed);
+
+  // Pre-PR, the session was left in a futile-retry state. Now: a transient
+  // exhaustion never poisons -- updates mutate copies and commit on success,
+  // so the failed batch left NOTHING behind...
+  EXPECT_TRUE(session.poisoned().empty());
+  EXPECT_EQ(session.result().updates.batches_applied, 0);
+  EXPECT_EQ(session.result().recovery.attempts, 2);  // initial + failed update attempt
+
+  // ...and the SAME batch succeeds on retry (the one-shot trigger already
+  // fired), with the session's state exactly pre-batch.
+  const auto stats = session.update(batch);
+  EXPECT_EQ(stats.edges_added, 2);
+  EXPECT_EQ(session.result().updates.batches_applied, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionLifecycle, RankDeathDuringUpdatePoisonsSession) {
+  const std::string dir = "ckpt_poison";
+  const auto csr = stage_resumable_checkpoint(dir);
+
+  // kill() is permanent: the rank is dead for good and re-fails every
+  // attempt, so a restart budget must NOT be burned retrying the update.
+  auto session = Plan::distributed(3)
+                     .resume(dir)
+                     .inject_faults(dc::FaultPlan().kill(1, /*phase=*/0, /*iteration=*/0))
+                     .max_restarts(3)
+                     .open(csr);
+  ASSERT_GE(session.result().recovery.resumed_from_phase, 1);
+
+  const auto batch = EdgeBatch().add(0, 120, 1.0);
+  EXPECT_THROW(session.update(batch), dc::RankDead);
+
+  // The death was taken as a verdict, and the session is poisoned: the
+  // resident per-rank slices are partitioned for a world that lost a rank.
+  // (result() itself now reports the poisoning, so the message is the
+  // only telemetry left -- that is the point of the bugfix.)
+  ASSERT_FALSE(session.poisoned().empty());
+  EXPECT_NE(session.poisoned().find("rank-death"), std::string::npos);
+  EXPECT_NE(session.poisoned().find("re-open the plan"), std::string::npos);
+
+  // Every subsequent use reports the original cause as SessionPoisoned --
+  // result() via the const accessor, update() before touching anything.
+  const auto& poisoned_session = session;
+  EXPECT_THROW((void)poisoned_session.result(), dlouvain::SessionPoisoned);
+  try {
+    session.update(EdgeBatch().add(2, 3, 1.0));
+    FAIL() << "expected SessionPoisoned";
+  } catch (const dlouvain::SessionPoisoned& e) {
+    EXPECT_NE(std::string(e.what()).find("rank-death"), std::string::npos);
+  }
+  EXPECT_EQ(session.updates_applied(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- ISSUE 9 satellite 2: checkpoint-dir collision between live Plans ------
+
+TEST(CheckpointLock, TwoSimultaneousSessionsSameDirCollide) {
+  const std::string dir = "ckpt_lock_collision";
+  std::filesystem::remove_all(dir);
+  const auto g = gen::clique_chain(6, 8);
+  const auto csr = dg::from_edges(g.num_vertices, g.edges);
+
+  const auto plan = Plan::distributed(2).checkpointing(dir);
+  auto first = plan.open(csr);  // holds the directory lock while resident
+
+  // Pre-PR, the second session silently interleaved (and pruned) the
+  // first's phase files. Now open() fails fast, naming both owners.
+  try {
+    auto second = plan.open(csr);
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(dir), std::string::npos) << what;
+    EXPECT_NE(what.find("in use by"), std::string::npos) << what;
+    // Both parties are named: the holder's pidfile line and this plan.
+    EXPECT_NE(what.find("pid"), std::string::npos) << what;
+    EXPECT_NE(what.find("different directories"), std::string::npos) << what;
+  }
+
+  // The lock is released with the session: a sequential reuse is fine.
+  {
+    auto moved = std::move(first);  // lock moves with the session
+    EXPECT_THROW((void)plan.open(csr), PlanError);
+  }
+  EXPECT_NO_THROW((void)plan.open(csr));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointLock, StaleLockReclaimedLiveLockHonoured) {
+  namespace fs = std::filesystem;
+  const std::string dir = "ckpt_lock_unit";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // A lock whose pid is gone (crashed process) is stale: reclaimed, so
+  // recovery-by-resume after a hard crash still works.
+  {
+    std::ofstream(dir + "/LOCK") << "pid 4000000 session s99\n";
+    core::CheckpointDirLock lock(dir, "fresh");
+    EXPECT_NE(lock.owner_line().find("session fresh"), std::string::npos);
+  }
+  // Released on destruction.
+  EXPECT_FALSE(fs::exists(dir + "/LOCK"));
+
+  // A live holder (this process) is honoured -- CheckpointDirBusy carries
+  // the holder's line so the caller can name it.
+  core::CheckpointDirLock held(dir, "alpha");
+  try {
+    core::CheckpointDirLock second(dir, "beta");
+    FAIL() << "expected CheckpointDirBusy";
+  } catch (const core::CheckpointDirBusy& busy) {
+    EXPECT_NE(busy.owner.find("session alpha"), std::string::npos) << busy.owner;
+    EXPECT_NE(std::string(busy.what()).find(dir), std::string::npos);
+  }
+  fs::remove_all(dir);
+}
+
+// ---- ISSUE 9 satellite 3: EdgeBatch duplicate-change semantics --------------
+//
+// The documented contract (dlouvain.hpp EdgeBatch): removals resolve against
+// the PRE-batch graph and additions apply after, regardless of listed order;
+// duplicate adds sum (on top of the surviving pre-batch weight); duplicate
+// removes are an error. Pinned here for BOTH engines: absolute graph-level
+// semantics via apply_edge_changes against an explicitly-built expected
+// graph, and engine-level equivalence via bitwise-identical session results
+// for equivalent batches.
+
+namespace {
+
+/// apply_edge_changes(before, changes) must produce exactly `expected`
+/// (weights compared bitwise via EXPECT_DOUBLE_EQ on every arc).
+void expect_changes_yield(const dg::Csr& before, const std::vector<dg::EdgeChange>& changes,
+                          const dg::Csr& expected) {
+  dc::run(2, [&](dc::Comm& comm) {
+    auto mutated = dg::DistGraph::from_replicated(comm, before);
+    mutated.apply_edge_changes(comm, changes);
+    for (VertexId lv = 0; lv < mutated.local_count(); ++lv) {
+      const VertexId gv = mutated.to_global(lv);
+      const auto got = mutated.local().neighbors(lv);
+      const auto want = expected.neighbors(gv);
+      ASSERT_EQ(got.size(), want.size()) << "row " << gv;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].dst, want[i].dst) << "row " << gv;
+        EXPECT_DOUBLE_EQ(got[i].weight, want[i].weight) << "row " << gv;
+      }
+    }
+  });
+}
+
+/// The clique-chain fixture: {0,1} is an intra-clique edge of weight 1;
+/// {0,9} does not exist (different cliques, no bridge).
+struct DupFixture {
+  EdgeLedger ledger;
+  dg::Csr before;
+
+  DupFixture() : ledger(EdgeLedger::from(gen::clique_chain(4, 8))), before(ledger.csr()) {}
+
+  [[nodiscard]] dg::Csr with_weight01(double w) const {
+    auto edges = ledger.edges;
+    for (auto& e : edges) {
+      if (e.src == 0 && e.dst == 1) {
+        e.weight = w;
+        return dg::from_edges(ledger.n, edges);
+      }
+    }
+    ADD_FAILURE() << "fixture lost edge {0,1}";
+    return before;
+  }
+};
+
+}  // namespace
+
+TEST(EdgeBatchSemantics, DuplicateAddsSumAcrossOrientations) {
+  const DupFixture fx;
+  // add(0,1,2) + add(1,0,3): one undirected edge, weights sum onto the
+  // pre-batch weight 1 -> 6. Orientation never matters.
+  expect_changes_yield(fx.before,
+                       {dg::EdgeChange{0, 1, 2.0, false}, dg::EdgeChange{1, 0, 3.0, false}},
+                       fx.with_weight01(6.0));
+}
+
+TEST(EdgeBatchSemantics, RemoveThenAddReplacesRegardlessOfOrder) {
+  const DupFixture fx;
+  // Removal consumes the pre-batch edge; the addition then creates it
+  // fresh: final weight is exactly 4, NOT 1+4.
+  const dg::Csr expected = fx.with_weight01(4.0);
+  expect_changes_yield(fx.before,
+                       {dg::EdgeChange{0, 1, 0.0, true}, dg::EdgeChange{0, 1, 4.0, false}},
+                       expected);
+  // Listed order is immaterial: removals resolve against the PRE-batch
+  // graph even when written after the add.
+  expect_changes_yield(fx.before,
+                       {dg::EdgeChange{0, 1, 4.0, false}, dg::EdgeChange{0, 1, 0.0, true}},
+                       expected);
+}
+
+TEST(EdgeBatchSemantics, DuplicateRemoveThrowsEverywhere) {
+  const DupFixture fx;
+  // The second removal names an edge the pre-batch graph holds only once.
+  dc::run(2, [&](dc::Comm& comm) {
+    auto dist = dg::DistGraph::from_replicated(comm, fx.before);
+    const std::vector<dg::EdgeChange> dup{dg::EdgeChange{0, 1, 0.0, true},
+                                          dg::EdgeChange{1, 0, 0.0, true}};
+    EXPECT_THROW(dist.apply_edge_changes(comm, dup), std::invalid_argument);
+  });
+  // Same verdict through a serial session, which must stay unmutated.
+  auto session = Plan::serial().open(fx.before);
+  const auto before_mod = session.result().modularity;
+  EXPECT_THROW(session.update(EdgeBatch().remove(0, 1).remove(1, 0)),
+               std::invalid_argument);
+  EXPECT_EQ(session.result().modularity, before_mod);
+  EXPECT_EQ(session.updates_applied(), 0);
+}
+
+TEST(EdgeBatchSemantics, AddThenRemoveOfAbsentEdgeThrows) {
+  const DupFixture fx;
+  // {0,9} is absent pre-batch; the add in the same batch does NOT rescue
+  // the removal (removals resolve pre-batch, by contract).
+  dc::run(2, [&](dc::Comm& comm) {
+    auto dist = dg::DistGraph::from_replicated(comm, fx.before);
+    const std::vector<dg::EdgeChange> changes{dg::EdgeChange{0, 9, 1.0, false},
+                                              dg::EdgeChange{0, 9, 0.0, true}};
+    EXPECT_THROW(dist.apply_edge_changes(comm, changes), std::invalid_argument);
+  });
+  auto session = Plan::serial().open(fx.before);
+  EXPECT_THROW(session.update(EdgeBatch().add(0, 9, 1.0).remove(0, 9)),
+               std::invalid_argument);
+  EXPECT_EQ(session.updates_applied(), 0);
+}
+
+TEST(EdgeBatchSemantics, EquivalentBatchesConvergeBitwiseIdentically) {
+  // Engine-level pin: two textually different but semantically equal
+  // batches (same post-batch graph, same touched set) must leave two
+  // sessions bitwise identical -- distributed (warm path) and serial.
+  const DupFixture fx;
+  for (const auto make_plan : {+[] { return Plan::distributed(3); },
+                               +[] { return Plan::serial(); }}) {
+    auto a = make_plan().open(fx.before);
+    auto b = make_plan().open(fx.before);
+    // a: remove {0,1} then add it back at 4.  b: top up {0,1} by 3 (1+3=4).
+    a.update(EdgeBatch().remove(0, 1).add(0, 1, 4.0));
+    b.update(EdgeBatch().add(0, 1, 3.0));
+    expect_bitwise_equal(a.result(), b.result());
+  }
 }

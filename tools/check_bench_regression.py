@@ -105,12 +105,35 @@ MANIFEST_COUNTERS_V4 = (
 )
 
 
+# Keys the optional per-response "service" section carries when a manifest
+# was replied by dlouvaind rather than written by the CLI (see
+# docs/SERVICE.md; catalog in docs/OBSERVABILITY.md).
+SERVICE_KEYS = (
+    "job_id", "cache_hit", "queue_depth", "jobs_served", "cache_hits",
+    "cache_misses", "rejected", "sessions_open", "drain",
+)
+
+
 def check_manifest(manifest, failures):
     """Validate a --metrics-out run manifest; append problems to failures."""
     schema = manifest.get("schema", "")
     if not schema.startswith("dlouvain-run-manifest/"):
         failures.append(f"manifest schema '{schema}' is not a run manifest")
         return
+    # Optional service section: present only on manifests replied by the
+    # dlouvaind daemon; when present it must carry the whole catalog.
+    if "service" in manifest:
+        service = manifest["service"]
+        if not isinstance(service, dict):
+            failures.append("manifest service section is not an object")
+        else:
+            for key in SERVICE_KEYS:
+                if key not in service:
+                    failures.append(f"manifest service section missing '{key}'")
+            if service.get("drain") not in ("none", "draining", "clean"):
+                failures.append(
+                    f"manifest service drain state "
+                    f"'{service.get('drain')}' is not none/draining/clean")
     engine = manifest.get("engine")
     recovery = manifest.get("recovery")
     if not isinstance(recovery, dict):

@@ -108,6 +108,19 @@ def check_manifest(path):
             if overlap.get("probe_iterations_off", 0) <= 0:
                 fail(f"{path}: auto decision recorded without probe "
                      f"iterations")
+    # Optional "service" section (manifests replied by dlouvaind carry one;
+    # direct CLI runs do not). When present it must be well-formed.
+    if "service" in manifest:
+        service = manifest["service"]
+        if not isinstance(service, dict):
+            fail(f"{path}: service section is not an object")
+        for key in ("job_id", "cache_hit", "queue_depth", "jobs_served",
+                    "cache_hits", "cache_misses", "rejected",
+                    "sessions_open", "drain"):
+            if key not in service:
+                fail(f"{path}: service section missing '{key}'")
+        if service["drain"] not in ("none", "draining", "clean"):
+            fail(f"{path}: service drain state '{service['drain']}' unknown")
     print(f"manifest ok: schema {schema}, "
           f"{counters['comm.messages']} messages")
 
