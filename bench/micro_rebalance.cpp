@@ -1,0 +1,243 @@
+// micro_rebalance: phase-boundary load re-balancer on/off ablation (ISSUE 10
+// acceptance run).
+//
+// Runs the distributed engine on an R-MAT graph three ways -- rebalance off,
+// rebalance on at the default threshold, and rebalance on at an unreachable
+// threshold (the decline path) -- and emits the BENCH_PR10.json trail:
+//
+//   micro_rebalance --pr10_json=BENCH_PR10.json --pr10_scale=16 --pr10_ranks=8
+//
+// The trail records, per phase, the measured arc-load lambda of both runs and
+// the boundary verdict (lambda_pre under the even split, lambda_post under
+// the chosen split, and lambda_floor -- the structural limit max vertex /
+// mean rank that NO partitioner can beat; on tiny late coarse graphs the
+// floor itself exceeds any fixed target, and the exact min-max cut meeting it
+// is the optimum). tools/check_bench_regression.py --emit pr10 drives this
+// binary and asserts the lambda bar, the decline-path bitwise identity, the
+// engaged-path determinism, and the decline-path wall overhead.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "dlouvain.hpp"
+#include "gen/rmat.hpp"
+#include "graph/csr.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace dg = dlouvain::graph;
+namespace gen = dlouvain::gen;
+using dlouvain::Plan;
+using dlouvain::Result;
+using dlouvain::VertexId;
+
+namespace {
+
+struct Options {
+  std::string json_path;
+  int scale{16};
+  int ranks{8};
+  int threads{1};
+  int reps{3};
+  double threshold{1.5};
+};
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// Bitwise result identity: assignment, modularity bit pattern, and the
+/// algorithm traffic totals (messages and bytes are deterministic, so any
+/// divergence shows up here before it shows up in quality).
+bool same_bits(const Result& a, const Result& b) {
+  return a.community == b.community &&
+         bits_of(a.modularity) == bits_of(b.modularity) &&
+         a.distributed->messages == b.distributed->messages &&
+         a.distributed->bytes == b.distributed->bytes &&
+         a.distributed->phases == b.distributed->phases;
+}
+
+/// Best-of-reps wall time; every rep must be bitwise identical to the first
+/// (the determinism half of the contract rides the timing loop for free).
+struct TimedRun {
+  Result result;
+  double wall{0};
+  bool deterministic{true};
+};
+
+TimedRun timed(const Plan& plan, const dg::Csr& g, int reps) {
+  TimedRun out;
+  for (int rep = 0; rep < reps; ++rep) {
+    const dlouvain::util::WallTimer timer;
+    Result r = plan.run(g);
+    const double s = timer.seconds();
+    if (rep == 0) {
+      out.result = std::move(r);
+      out.wall = s;
+    } else {
+      out.deterministic = out.deterministic && same_bits(out.result, r);
+      out.wall = std::min(out.wall, s);
+    }
+  }
+  return out;
+}
+
+int run(const Options& opt) {
+  gen::RmatParams params;
+  params.scale = opt.scale;
+  params.edges_per_vertex = 8;
+  params.seed = 42;
+  const auto g = gen::rmat(params);
+  const auto csr = dg::from_edges(g.num_vertices, g.edges);
+
+  std::cout << "== micro_rebalance: phase-boundary re-balancer on/off ==\n"
+            << "graph:     rmat scale " << opt.scale << " (" << g.num_vertices
+            << " vertices, " << g.edges.size() << " edges)\n"
+            << "plan:      " << opt.ranks << " ranks x " << opt.threads
+            << " thread(s), threshold " << opt.threshold << ", best of "
+            << opt.reps << "\n\n";
+
+  const auto base = Plan::distributed(opt.ranks).threads(opt.threads);
+  auto on_plan = base;
+  on_plan.rebalance(opt.threshold);
+  // The decline path: enabled, but the threshold is unreachable, so every
+  // boundary screens out at step 1. Must be bitwise identical to off.
+  auto decline_plan = base;
+  decline_plan.rebalance(1e9);
+  const auto off = timed(base, csr, opt.reps);
+  const auto on = timed(on_plan, csr, opt.reps);
+  const auto decline = timed(decline_plan, csr, opt.reps);
+  const bool decline_identical = same_bits(off.result, decline.result);
+
+  const auto& doff = *off.result.distributed;
+  const auto& don = *on.result.distributed;
+  const double mod_delta = std::abs(off.result.modularity - on.result.modularity);
+
+  std::cout << "wall off:      " << off.wall << " s (" << doff.phases << " phases)\n"
+            << "wall on:       " << on.wall << " s (" << don.phases << " phases, "
+            << don.rebalance.phases_engaged << "/" << don.rebalance.phases_evaluated
+            << " boundaries engaged, " << don.rebalance.vertices_migrated
+            << " vertices migrated)\n"
+            << "wall decline:  " << decline.wall << " s (bitwise identical to off: "
+            << (decline_identical ? "yes" : "NO") << ")\n"
+            << "deterministic: off " << (off.deterministic ? "yes" : "NO") << ", on "
+            << (on.deterministic ? "yes" : "NO") << "\n"
+            << "modularity:    off " << off.result.modularity << " vs on "
+            << on.result.modularity << " (|delta| " << mod_delta << ")\n\n";
+  for (const auto& ph : don.phase_telemetry) {
+    std::cout << "phase " << ph.phase << ": load_lambda " << ph.load_lambda;
+    if (ph.rebalance.evaluated) {
+      std::cout << "; boundary lambda " << ph.rebalance.lambda_pre << " -> "
+                << ph.rebalance.lambda_post << " (floor "
+                << ph.rebalance.lambda_floor << ", "
+                << (ph.rebalance.engaged ? "engaged" : "declined") << ")";
+    }
+    std::cout << '\n';
+  }
+
+  if (!opt.json_path.empty()) {
+    using dlouvain::core::json_number;
+    namespace du = dlouvain::util;
+    std::string out = "{\"schema\":\"dlouvain-bench/pr10\"";
+    out += ",\"graph\":{\"family\":\"rmat\",\"scale\":" + std::to_string(opt.scale) +
+           ",\"vertices\":" + std::to_string(g.num_vertices) +
+           ",\"edges\":" + std::to_string(g.edges.size()) + "}";
+    out += ",\"rebalance\":{\"ranks\":" + std::to_string(opt.ranks);
+    out += ",\"threads\":" + std::to_string(opt.threads);
+    out += ",\"reps\":" + std::to_string(opt.reps);
+    out += ",\"threshold\":" + json_number(opt.threshold);
+    out += ",\"wall_off\":" + json_number(off.wall);
+    out += ",\"wall_on\":" + json_number(on.wall);
+    out += ",\"wall_decline\":" + json_number(decline.wall);
+    out += ",\"decline_identical\":";
+    out += decline_identical ? "true" : "false";
+    out += ",\"deterministic\":";
+    out += (off.deterministic && on.deterministic && decline.deterministic)
+               ? "true"
+               : "false";
+    out += ",\"phases_evaluated\":" + std::to_string(don.rebalance.phases_evaluated);
+    out += ",\"phases_engaged\":" + std::to_string(don.rebalance.phases_engaged);
+    out += ",\"vertices_migrated\":" +
+           std::to_string(don.rebalance.vertices_migrated);
+    out += ",\"modularity_off\":" + json_number(off.result.modularity);
+    out += ",\"modularity_on\":" + json_number(on.result.modularity);
+    out += ",\"modularity_delta\":" + json_number(mod_delta);
+    out += ",\"messages_off\":" + std::to_string(doff.messages);
+    out += ",\"messages_on\":" + std::to_string(don.messages);
+    out += ",\"rebalance_messages\":" +
+           std::to_string(don.counters[du::Counter::kRebalanceMessages]);
+    out += ",\"rebalance_bytes\":" +
+           std::to_string(don.counters[du::Counter::kRebalanceBytes]);
+    out += ",\"phases_off\":[";
+    for (std::size_t i = 0; i < doff.phase_telemetry.size(); ++i) {
+      const auto& ph = doff.phase_telemetry[i];
+      if (i != 0) out += ',';
+      out += "{\"phase\":" + std::to_string(ph.phase);
+      out += ",\"load_lambda\":" + json_number(ph.load_lambda);
+      out += ",\"arcs\":" + std::to_string(ph.graph_arcs) + "}";
+    }
+    out += "],\"phases_on\":[";
+    for (std::size_t i = 0; i < don.phase_telemetry.size(); ++i) {
+      const auto& ph = don.phase_telemetry[i];
+      if (i != 0) out += ',';
+      out += "{\"phase\":" + std::to_string(ph.phase);
+      out += ",\"load_lambda\":" + json_number(ph.load_lambda);
+      out += ",\"arcs\":" + std::to_string(ph.graph_arcs);
+      out += ",\"evaluated\":";
+      out += ph.rebalance.evaluated ? "true" : "false";
+      out += ",\"engaged\":";
+      out += ph.rebalance.engaged ? "true" : "false";
+      out += ",\"lambda_pre\":" + json_number(ph.rebalance.lambda_pre);
+      out += ",\"lambda_post\":" + json_number(ph.rebalance.lambda_post);
+      out += ",\"lambda_floor\":" + json_number(ph.rebalance.lambda_floor);
+      out += ",\"vertices_migrated\":" +
+             std::to_string(ph.rebalance.vertices_migrated) + "}";
+    }
+    out += "]}}";
+    std::ofstream f(opt.json_path, std::ios::trunc);
+    if (!f) {
+      std::cerr << "micro_rebalance: cannot open " << opt.json_path << '\n';
+      return 1;
+    }
+    f << out << '\n';
+    std::cout << "\nwrote " << opt.json_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto grab = [&](const char* prefix, auto parse) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      parse(arg.substr(std::strlen(prefix)));
+      return true;
+    };
+    const bool known =
+        grab("--pr10_json=", [&](const std::string& v) { opt.json_path = v; }) ||
+        grab("--pr10_scale=", [&](const std::string& v) { opt.scale = std::stoi(v); }) ||
+        grab("--pr10_dist_scale=", [&](const std::string&) {}) ||  // driver compat
+        grab("--pr10_reps=", [&](const std::string& v) { opt.reps = std::stoi(v); }) ||
+        grab("--pr10_ranks=", [&](const std::string& v) { opt.ranks = std::stoi(v); }) ||
+        grab("--pr10_threads=",
+             [&](const std::string& v) { opt.threads = std::stoi(v); }) ||
+        grab("--pr10_threshold=",
+             [&](const std::string& v) { opt.threshold = std::stod(v); });
+    if (!known) {
+      std::cerr << "micro_rebalance: unknown flag " << arg << '\n';
+      return 2;
+    }
+  }
+  return run(opt);
+}

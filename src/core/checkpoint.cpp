@@ -29,7 +29,14 @@ constexpr std::uint64_t kCountersMagic = 0x444c434b43545231ULL;  // "DLCKCTR1"
 // v2 (ISSUE 4): adds the sibling counters.bin file. The meta.bin field
 // layout is unchanged, so v1 checkpoints stay readable -- they simply have
 // no counters file and resume with zero restored counters.
-constexpr std::uint32_t kVersion = 2;
+// v3 (ISSUE 10): meta.bin appends the active vertex-range ownership map
+// (the coarse graph's partition split points). The phase-boundary
+// re-balancer can migrate ranges, making the partition no longer derivable
+// from the rank count alone; resuming onto the wrong partition at the same
+// p would silently change sweep orders. v1/v2 checkpoints (no map) resume
+// on the even-vertices split, which is what every pre-rebalance rebuild
+// used.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 // ---- CRC-sealed little record files ------------------------------------
@@ -111,6 +118,9 @@ struct MetaInfo {
   VertexId orig_global_n{0};
   CheckpointState state;
   std::uint64_t fingerprint{0};
+  /// v3: the coarse graph's partition split points (ranks+1 entries), the
+  /// EXPLICIT ownership map. Empty for v1/v2 checkpoints.
+  std::vector<VertexId> starts;
 };
 
 std::optional<MetaInfo> read_meta(const fs::path& path) {
@@ -130,6 +140,16 @@ std::optional<MetaInfo> read_meta(const fs::path& path) {
   meta.fingerprint = in.get_u64();
   if (!in.ok() || meta.ranks <= 0 || meta.state.next_phase < 0 || meta.orig_global_n < 0)
     return std::nullopt;
+  if (version >= 3) {
+    const std::int64_t count = in.get_i64();
+    if (!in.ok() || count != meta.ranks + 1) return std::nullopt;
+    meta.starts.resize(static_cast<std::size_t>(count));
+    for (auto& s : meta.starts) s = in.get_i64();
+    if (!in.ok() || meta.starts.front() != 0) return std::nullopt;
+    for (std::size_t i = 1; i < meta.starts.size(); ++i) {
+      if (meta.starts[i] < meta.starts[i - 1]) return std::nullopt;
+    }
+  }
   return meta;
 }
 
@@ -231,6 +251,14 @@ std::uint64_t config_fingerprint(const DistConfig& cfg) {
   mix_f(cfg.etc_exit_fraction);
   mix(cfg.use_neighbor_exchange ? 1 : 0);
   mix(cfg.use_coloring ? 1 : 0);
+  // An ENABLED re-balancer changes which partitions later phases run on,
+  // and sweep orders are partition-keyed -- trajectory-relevant. Disabled,
+  // the fields are deliberately not mixed, so every config written before
+  // the knob existed keeps its fingerprint.
+  if (cfg.rebalance.enabled) {
+    mix(0x726562616c616e63ULL);  // "rebalanc"
+    mix_f(cfg.rebalance.threshold);
+  }
   return h;
 }
 
@@ -271,6 +299,12 @@ void checkpoint_save(comm::Comm& comm, const std::string& dir,
     meta.put_f64_bits(state.prev_outer_mod);
     meta.put_u8(state.forced_final ? 1 : 0);
     meta.put_u64(fingerprint);
+    // v3: the ACTIVE ownership map (split points of the coarse graph's
+    // partition, identical on every rank) -- not derivable from comm.size()
+    // once the re-balancer has migrated ranges.
+    const auto& starts = g.partition().starts();
+    meta.put_i64(static_cast<std::int64_t>(starts.size()));
+    for (const VertexId s : starts) meta.put_i64(s);
     meta.write(tmp / "meta.bin");
 
     ByteWriter chain_out;
@@ -320,6 +354,7 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
   // on the verdict before any collective I/O.
   enum : std::int64_t { kNone = 0, kOk = 1, kConfigMismatch = 2 };
   std::vector<std::int64_t> header(11, 0);
+  std::vector<VertexId> stored_starts;  // v3 ownership map; empty for v1/v2
   if (comm.rank() == 0) {
     for (const int k : candidate_phases(dir)) {
       const auto meta = validate_checkpoint(dir, k);
@@ -328,6 +363,7 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
         header[0] = kConfigMismatch;
         break;
       }
+      stored_starts = meta->starts;
       const RunCounters counters = read_counters(phase_dir(dir, k) / "counters.bin");
       header = {kOk,
                 k,
@@ -345,6 +381,7 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
     }
   }
   header = comm.broadcast(std::move(header));
+  stored_starts = comm.broadcast(std::move(stored_starts));
 
   if (header[0] == kConfigMismatch)
     throw std::runtime_error(
@@ -367,12 +404,22 @@ std::optional<ResumedState> checkpoint_load(comm::Comm& comm, const std::string&
   resumed.state.counters.messages = header[9];
   resumed.state.counters.bytes = header[10];
 
-  // Coarse graphs always live on the even-vertices partition (rebuild's
-  // choice), so loading with kEvenVertices reproduces the exact partition at
-  // the same rank count -- and a valid repartition at any other.
-  resumed.graph = graph::load_distributed(
-      comm, (phase_dir(dir, chosen) / "graph.dlel").string(),
-      graph::PartitionKind::kEvenVertices);
+  // Coarse-graph partition: v3 checkpoints carry the active ownership map
+  // explicitly (the phase-boundary re-balancer may have migrated ranges, so
+  // the partition is no longer derivable from the rank count). Same rank
+  // count -> load onto the recorded map, reproducing the exact partition.
+  // Different rank count, or a v1/v2 checkpoint with no map -> even-vertices
+  // split: exact for any never-rebalanced run, and a valid repartition
+  // otherwise (different-p resume was never bitwise anyway; see the
+  // determinism contract in checkpoint.hpp).
+  const fs::path graph_path = phase_dir(dir, chosen) / "graph.dlel";
+  if (static_cast<int>(stored_starts.size()) == comm.size() + 1) {
+    resumed.graph = graph::load_distributed(
+        comm, graph_path.string(), graph::Partition1D(std::move(stored_starts)));
+  } else {
+    resumed.graph = graph::load_distributed(comm, graph_path.string(),
+                                            graph::PartitionKind::kEvenVertices);
+  }
 
   // Chain: rank 0 rereads, everyone takes its contiguous slice. Slice
   // boundaries only need to concatenate in rank order; the even split works

@@ -11,7 +11,9 @@
 // sufficient for bitwise-identical continuation at the same rank count.
 //
 // On-disk layout (one directory per job):
-//   <dir>/phase_<k>/meta.bin      scalars + config fingerprint, CRC32-sealed
+//   <dir>/phase_<k>/meta.bin      scalars + config fingerprint + (v3) the
+//                                 active vertex-range ownership map,
+//                                 CRC32-sealed
 //   <dir>/phase_<k>/graph.dlel    coarse graph via graph::write_distributed
 //   <dir>/phase_<k>/chain.bin     global orig_to_cur array, CRC32-sealed
 //   <dir>/phase_<k>/counters.bin  cumulative run counters (v2), CRC32-sealed
@@ -33,10 +35,14 @@
 //
 // Determinism contract: resuming at the SAME rank count reproduces the
 // uninterrupted run bit for bit (test_robustness.cpp proves it for every
-// kill point). Resuming at a DIFFERENT rank count is supported -- the graph
-// is repartitioned on load -- and yields a valid clustering with exact
-// bookkeeping, but not the same bits: sweep orders are keyed on partition
-// offsets, so the move sequence legitimately differs.
+// kill point). v3 checkpoints make that hold even after the phase-boundary
+// re-balancer (core/rebalance.hpp) has migrated vertex ranges: meta.bin
+// records the ACTIVE ownership map explicitly, and same-p loads resume onto
+// it verbatim instead of assuming the even-vertices split. Resuming at a
+// DIFFERENT rank count is supported -- the graph is repartitioned on load
+// -- and yields a valid clustering with exact bookkeeping, but not the same
+// bits: sweep orders are keyed on partition offsets, so the move sequence
+// legitimately differs.
 //
 // Different-p resume is also the machinery behind the rung-3 shrink
 // (docs/FAULT_TOLERANCE.md): when a rank is declared DEAD, the Session

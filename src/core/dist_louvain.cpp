@@ -922,7 +922,8 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     util::WallTimer rebuild_timer;
     const util::TraceSpan rebuild_span(tb, "rebuild", "collective", phase);
     auto next = rebuild(comm, graph, phase_state.owned_community, phase_state.ghosts,
-                        phase_state.ledger, &pool, /*build_graph=*/!renumber_only);
+                        phase_state.ledger, &pool, /*build_graph=*/!renumber_only,
+                        cfg.rebalance, phase);
 
     // Route each original vertex's current id to the rank owning it in the
     // CURRENT partition; owners answer with the collapsed meta-vertex id.
@@ -949,6 +950,59 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     }
     telemetry.breakdown.rebuild = rebuild_timer.seconds();
     telemetry.seconds = phase_timer.seconds();
+
+    // Per-phase load-imbalance lambdas (ISSUE 10), sampled on EVERY run so
+    // the coarsening skew is observable even with re-balancing off. One
+    // O(p) allgather per phase: this rank's owned-arc count of the graph
+    // the phase just ran on (the partition-quality lambda) and its measured
+    // compute + rebuild wall (the observability lambda; scheduler-dependent,
+    // so it is never a decision input). Sampling traffic is reclassified so
+    // comm.messages stays comparable with and without the sampling.
+    {
+      const util::TraceSpan span(tb, "rebalance", "collective", phase);
+      const util::TrafficReclassScope reclass(ctr, util::Counter::kRebalanceMessages,
+                                              util::Counter::kRebalanceBytes);
+      struct LoadSample {
+        std::int64_t arcs;
+        double seconds;
+      };
+      const auto samples = comm.allgather(LoadSample{
+          static_cast<std::int64_t>(graph.local().num_arcs()),
+          telemetry.breakdown.compute + telemetry.breakdown.rebuild});
+      std::vector<std::int64_t> arcs(samples.size());
+      std::vector<double> walls(samples.size());
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        arcs[i] = samples[i].arcs;
+        walls[i] = samples[i].seconds;
+      }
+      telemetry.load_lambda = load_imbalance(arcs);
+      telemetry.time_lambda = load_imbalance(walls);
+    }
+    // The boundary's re-balancing verdict (all-default when off): fold into
+    // the per-phase record and the run-level v5 roll-up.
+    telemetry.rebalance.evaluated = next.rebalance.evaluated;
+    telemetry.rebalance.engaged = next.rebalance.engaged;
+    telemetry.rebalance.lambda_pre = next.rebalance.lambda_pre;
+    telemetry.rebalance.lambda_post = next.rebalance.lambda_post;
+    telemetry.rebalance.lambda_floor = next.rebalance.lambda_floor;
+    telemetry.rebalance.ranges_moved = next.rebalance.stats.ranges_moved;
+    telemetry.rebalance.vertices_migrated = next.rebalance.stats.vertices_migrated;
+    telemetry.rebalance.arcs_migrated = next.rebalance.stats.arcs_migrated;
+    if (next.rebalance.evaluated) {
+      ++result.rebalance.phases_evaluated;
+      if (next.rebalance.engaged) {
+        ++result.rebalance.phases_engaged;
+      } else {
+        ++result.rebalance.phases_declined;
+      }
+      result.rebalance.ranges_moved += next.rebalance.stats.ranges_moved;
+      result.rebalance.vertices_migrated += next.rebalance.stats.vertices_migrated;
+      result.rebalance.arcs_migrated += next.rebalance.stats.arcs_migrated;
+      result.rebalance.max_lambda_pre =
+          std::max(result.rebalance.max_lambda_pre, next.rebalance.lambda_pre);
+      result.rebalance.max_lambda_post =
+          std::max(result.rebalance.max_lambda_post, next.rebalance.lambda_post);
+    }
 
     // Section V-D quality-assessment mode: gather the per-phase vertex-
     // community associations of the ORIGINAL graph at the root ("extra
@@ -1049,6 +1103,8 @@ DistResult dist_louvain(comm::Comm& comm, graph::DistGraph graph, const DistConf
     const auto executed = static_cast<int>(result.phase_telemetry.size());
     (on ? result.overlap.phases_engaged : result.overlap.phases_declined) = executed;
   }
+  result.rebalance.enabled = cfg.rebalance.enabled;
+  result.rebalance.threshold = cfg.rebalance.threshold;
   return result;
 }
 

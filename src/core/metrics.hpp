@@ -8,14 +8,17 @@
 // built from these helpers.
 //
 // Manifest schema (stable, versioned): see docs/OBSERVABILITY.md. The
-// top-level "schema" key is "dlouvain-run-manifest/4"; v2 added the always-
+// top-level "schema" key is "dlouvain-run-manifest/5"; v2 added the always-
 // present "updates" section (streaming-session telemetry), v3 the
 // "recovery.ladder" section (graduated recovery telemetry: retransmits,
 // verdicts, shrinks) and the arq.*/heartbeat.* counters, v4 the "overlap"
 // object on distributed manifests (the --overlap=auto cost-model decision
-// and its inputs; core/overlap_model.hpp). v1-v3 documents remain valid
-// inputs for the tooling (tools/check_bench_regression.py,
-// tools/validate_trace.py accept all versions).
+// and its inputs; core/overlap_model.hpp), v5 the "rebalance" object plus
+// per-phase load_lambda/time_lambda/rebalance records in phases_detail and
+// the rebalance.* counters (the phase-boundary load re-balancer,
+// core/rebalance.hpp). v1-v4 documents remain valid inputs for the tooling
+// (tools/check_bench_regression.py, tools/validate_trace.py accept all
+// versions).
 #pragma once
 
 #include <string>
@@ -26,7 +29,7 @@
 
 namespace dlouvain::core {
 
-inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/4";
+inline constexpr std::string_view kManifestSchema = "dlouvain-run-manifest/5";
 
 /// JSON string escaping (quotes, backslash, control characters).
 std::string json_escape(std::string_view s);
@@ -51,13 +54,20 @@ void append_updates_json(std::string& out, const UpdateTelemetry& u);
 /// decision, and the cost-model inputs (core/overlap_model.hpp).
 void append_overlap_json(std::string& out, const OverlapTelemetry& o);
 
+/// Appends the manifest-v5 "rebalance" object: the knob, how many phase
+/// boundaries were screened / engaged / declined, the migration totals, and
+/// the worst lambdas seen (core/rebalance.hpp; per-boundary detail rides
+/// phases_detail).
+void append_rebalance_json(std::string& out,
+                           const DistResult::RebalanceTelemetry& r);
+
 /// Telemetry of the long-lived clustering service (dlouvaind; see
 /// docs/SERVICE.md). One struct serves both emission sites: a per-response
 /// view (job_id / cache_hit / queue_depth at admission, plus the daemon
 /// totals at that moment) appended to each run manifest as an OPTIONAL
 /// "service" section, and the daemon's final drain manifest
 /// ("dlouvain-service-manifest/1"), where job_id stays -1. The run-manifest
-/// schema remains dlouvain-run-manifest/4 -- the section is additive and
+/// schema is unchanged by the section (dlouvain-run-manifest/5 as of the re-balancer) -- the section is additive and
 /// the tooling accepts manifests with or without it.
 struct ServiceTelemetry {
   std::int64_t job_id{-1};       ///< admission id of this response's job; -1 daemon-wide

@@ -39,7 +39,7 @@
 // switching per iteration is bitwise-safe.
 //
 // The decision and its inputs land in the run manifest's "overlap" object
-// (schema dlouvain-run-manifest/4; docs/OBSERVABILITY.md).
+// (new in manifest v4; docs/OBSERVABILITY.md).
 #pragma once
 
 #include <algorithm>

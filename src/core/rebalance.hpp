@@ -1,0 +1,89 @@
+// Phase-boundary dynamic load re-balancing (ISSUE 10).
+//
+// Louvain coarsening skews per-rank load: communities collapse unevenly, so
+// the even-vertex split of each coarse graph can leave one rank owning a
+// multiple of the mean arc count. This header is the PURE half of the
+// re-balancer -- the surplus/deficit model that turns allreduced per-rank
+// load samples into a migration decision -- with no communication, so it is
+// unit-testable with hand-built load vectors.
+//
+// Decision inputs are OWNED-ARC COUNTS, never measured wall times: arc
+// counts are collectively identical on every rank (they come out of one
+// allreduce of deterministic integers), so the verdict is rank-identical and
+// reproducible across thread counts and fault injection. Measured per-rank
+// seconds ARE sampled each phase, but only for the manifest's observability
+// lambda -- a time-based decision would make the partition (and therefore
+// the sweep order) depend on scheduler noise.
+//
+// Two-step screen (the PR 8 cost-model pattern -- cheap test first, model
+// only when it might engage):
+//   1. O(p): lambda_pre = max/mean of per-rank arc counts under the default
+//      even-vertex split of the NEW coarse graph. Below threshold -> done.
+//   2. O(n_coarse): allreduce the per-new-vertex arc histogram, re-cut the
+//      1D range boundaries at the exact MIN-MAX contiguous partition (binary
+//      search over the per-rank capacity + greedy feasibility -- the classic
+//      linear-partition problem), and engage only when the candidate
+//      strictly improves lambda. Migration is "free": rebuild() reships the
+//      whole coarse graph anyway, so choosing different range boundaries
+//      before that shipment moves vertices without a second data movement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "util/types.hpp"
+
+namespace dlouvain::core {
+
+/// max/mean of a non-negative load vector. 1.0 (perfect balance) for empty
+/// vectors or all-zero loads -- a graph with no arcs cannot be imbalanced.
+[[nodiscard]] double load_imbalance(std::span<const std::int64_t> loads);
+[[nodiscard]] double load_imbalance(std::span<const double> loads);
+
+/// Per-rank arc loads of `part` given the global per-vertex arc histogram.
+[[nodiscard]] std::vector<std::int64_t> partition_loads(
+    const graph::Partition1D& part, std::span<const std::int64_t> arcs_per_vertex);
+
+/// What a chosen partition moves relative to the incumbent: ranks whose
+/// interval changed, and the vertices/arcs whose owner changed.
+struct MigrationStats {
+  int ranges_moved{0};
+  std::int64_t vertices_migrated{0};
+  std::int64_t arcs_migrated{0};
+};
+
+[[nodiscard]] MigrationStats migration_stats(
+    const graph::Partition1D& from, const graph::Partition1D& to,
+    std::span<const std::int64_t> arcs_per_vertex);
+
+/// One phase boundary's re-balancing verdict plus everything the manifest
+/// reports about it (the v5 per-phase "rebalance" record).
+struct RebalanceDecision {
+  bool evaluated{false};  ///< the enabled-path screen ran at this boundary
+  bool engaged{false};    ///< a migrated partition was chosen
+  double lambda_pre{1.0};   ///< arc lambda under the even-vertex split
+  double lambda_post{1.0};  ///< arc lambda under the chosen split (== pre when declined)
+  /// The structural balance limit, max(hist) / (total / p): no partition --
+  /// contiguous or otherwise -- can push lambda below the heaviest single
+  /// vertex's share of a mean rank. On tiny late coarse graphs this floor
+  /// exceeds any fixed target; the min-max candidate is exact, so
+  /// lambda_post == floor there means the optimum was reached. 1.0 when the
+  /// step-2 histogram was never gathered (disabled or screened out).
+  double lambda_floor{1.0};
+  MigrationStats stats;
+  graph::Partition1D partition;  ///< the partition rebuild() must use
+};
+
+/// The pure decision: given the allreduced per-vertex arc histogram of the
+/// new coarse graph, pick the partition for the next phase. Deterministic,
+/// and identical on every rank because the inputs are. Declines (keeps the
+/// even-vertex split) below `threshold`, and also when the min-max
+/// candidate does not STRICTLY improve lambda -- so a pathological histogram
+/// can never make things worse, only leave them unchanged.
+[[nodiscard]] RebalanceDecision decide_rebalance(
+    VertexId n, int p, double threshold,
+    std::span<const std::int64_t> arcs_per_vertex);
+
+}  // namespace dlouvain::core

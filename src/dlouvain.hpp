@@ -223,7 +223,7 @@ struct Result {
   /// maintained by Session::update). The manifest's v2 "updates" section.
   core::UpdateTelemetry updates;
 
-  /// Machine-readable run manifest (schema "dlouvain-run-manifest/4"; see
+  /// Machine-readable run manifest (schema "dlouvain-run-manifest/5"; see
   /// docs/OBSERVABILITY.md). Valid JSON for every engine; the distributed
   /// engine adds counters, breakdown and per-phase detail. Same content
   /// `Plan::metrics(path)` writes to disk.
@@ -306,6 +306,24 @@ class Plan {
   Plan& overlap_probe(int iters, double min_hidden_s = 100e-6) {
     overlap_probe_iters_ = iters;
     overlap_min_hidden_s_ = min_hidden_s;
+    return *this;
+  }
+  /// Phase-boundary dynamic load re-balancing (distributed engine,
+  /// core/rebalance.hpp): at each rebuild, when the new coarse graph's
+  /// arc-count imbalance lambda = max/mean under the default even-vertex
+  /// split reaches `threshold` (>= 1), re-cut edge-balanced range
+  /// boundaries before the coarse graph is shipped -- migration rides the
+  /// rebuild's existing redistribution, no second data movement. The
+  /// decision is deterministic and rank-identical (allreduced arc counts;
+  /// measured times are observability-only), so runs are bitwise-
+  /// reproducible across thread counts and fault injection; a boundary
+  /// that DECLINES leaves the run bitwise identical to rebalance-off,
+  /// while an ENGAGED migration changes the partition and therefore the
+  /// bits -- same quality, different partition, exactly like resuming at a
+  /// different rank count (see docs/PERFORMANCE.md section 8).
+  Plan& rebalance(double threshold = 1.5) {
+    rebalance_ = true;
+    rebalance_threshold_ = threshold;
     return *this;
   }
 
@@ -424,6 +442,8 @@ class Plan {
   OverlapMode overlap_{OverlapMode::kAuto};
   int overlap_probe_iters_{2};
   double overlap_min_hidden_s_{100e-6};
+  bool rebalance_{false};
+  double rebalance_threshold_{1.5};
   std::string checkpoint_dir_;
   int checkpoint_every_{1};
   std::string resume_dir_;

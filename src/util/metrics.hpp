@@ -51,6 +51,8 @@ enum class Counter : int {
   kArqBackoffMs,          ///< summed ARQ backoff milliseconds scheduled
   kArqEscalations,        ///< messages whose link retry budget was exhausted
   kHeartbeatExtensions,   ///< receive deadlines extended on slow-not-dead verdicts
+  kRebalanceMessages,     ///< messages reclassified as load-rebalancer sampling
+  kRebalanceBytes,        ///< payload bytes reclassified as rebalancer sampling
   kCount
 };
 
@@ -77,6 +79,8 @@ inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kC
     case Counter::kArqBackoffMs: return "arq.backoff_ms";
     case Counter::kArqEscalations: return "arq.escalations";
     case Counter::kHeartbeatExtensions: return "heartbeat.slow_extensions";
+    case Counter::kRebalanceMessages: return "rebalance.messages";
+    case Counter::kRebalanceBytes: return "rebalance.bytes";
     case Counter::kCount: break;
   }
   return "unknown";

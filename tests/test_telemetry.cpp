@@ -377,7 +377,7 @@ TEST(Manifest, ToJsonIsValidStableAndDeterministic) {
   expect_balanced_json(json);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
-  EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/5\""), std::string::npos);
   EXPECT_NE(json.find("\"engine\":\"distributed\""), std::string::npos);
   EXPECT_NE(json.find("\"updates\":{\"batches_applied\":0"), std::string::npos);
   EXPECT_NE(json.find("\"comm.messages\":"), std::string::npos);
@@ -403,7 +403,7 @@ TEST(Manifest, SerialAndSharedEnginesEmitValidManifests) {
        {Plan::serial().seed(123).run(g), Plan::shared(2).seed(123).run(g)}) {
     const auto json = r.to_json();
     expect_balanced_json(json);
-    EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/4\""),
+    EXPECT_NE(json.find("\"schema\":\"dlouvain-run-manifest/5\""),
               std::string::npos);
     EXPECT_NE(json.find("\"updates\":{"), std::string::npos);
     EXPECT_NE(json.find("\"recovery\":{"), std::string::npos);
